@@ -1,0 +1,38 @@
+"""Shared helpers for the per-table/figure benchmark harness.
+
+Every module regenerates one table or figure of the paper: it runs the
+corresponding workload on the simulator (timed by pytest-benchmark),
+prints the same rows/series the paper reports, and asserts the *shape*
+of the result — orderings, ratios, plateau positions — against the
+paper's findings.  Absolute agreement is recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    """Render one regenerated paper table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), 14) for h in header]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def fmt_bytes(n: int) -> str:
+    """Human-readable byte count."""
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.0f} {unit}" if unit == "B" else f"{n / 1:.6g} {unit}"
+        n /= 1024
+    return f"{n} B"
+
+
+def fmt_rate(value: float, unit: str) -> str:
+    """Engineering-notation rate formatting."""
+    for scale, prefix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if value >= scale:
+            return f"{value / scale:.2f} {prefix}{unit}"
+    return f"{value:.2f} {unit}"

@@ -1,0 +1,191 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Each ablation disables one modelled mechanism and shows the paper's
+corresponding observation disappears — evidence the reproduction gets
+the effects from the right causes:
+
+1. Fragment-aware TLB off -> hipMalloc loses its TLB advantage
+   (ties Fig. 9 to the mechanism).
+2. Free-list channel skew off -> malloc's CPU latency penalty near the
+   Infinity Cache capacity vanishes (ties Fig. 2 to Section 5.4).
+3. Native FP64 CPU atomics (no CAS loop) -> the UINT64/FP64 gap closes
+   (ties Fig. 4 to the code-generation finding).
+4. Up-front contiguity reduced to one page -> hipMalloc's bandwidth
+   advantage collapses (ties Fig. 3 to Fig. 9).
+5. Fault batch (pre-faulting) sweep -> the 2.2x staged-fault win only
+   exists at scale.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.core.tlb import streaming_tlb_misses
+from repro.hw.config import MiB, default_config, small_config
+from repro.perf.atomics import cpu_atomic_throughput
+from repro.perf.bandwidth import BufferTraits, gpu_stream_bandwidth
+from repro.perf.faultmodel import prefault_speedup, fault_burst_time_ns
+from repro.perf.latency import cpu_chase_latency_ns
+from repro.runtime.apu import APU
+
+
+def test_ablation_fragment_aware_tlb(benchmark):
+    """Without fragment awareness, hipMalloc's TLB miss advantage is gone."""
+
+    def run():
+        exps = np.full(65536, 4, dtype=np.int8)  # hipMalloc-like fragments
+        aware = streaming_tlb_misses(exps, 10, 32, fragment_aware=True)
+        unaware = streaming_tlb_misses(exps, 10, 32, fragment_aware=False)
+        return aware, unaware
+
+    aware, unaware = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation 1: fragment-aware TLB",
+        ["mode", "TRIAD-pass misses"],
+        [("fragment-aware", f"{aware:,}"), ("page-granular", f"{unaware:,}")],
+    )
+    assert unaware == 16 * aware  # the entire Fig. 9 gap
+
+
+def test_ablation_channel_skew(benchmark):
+    """With a balanced free list, malloc's early CPU latency plateau at
+    256-512 MiB disappears."""
+
+    def run():
+        out = {}
+        for skew in (1.1, 0.0):
+            cfg = small_config(16 << 30)
+            cfg = cfg.replace(
+                policy=dataclasses.replace(cfg.policy, free_list_channel_skew=skew)
+            )
+            apu = APU(config=cfg, xnack=True)
+            buf = apu.memory.malloc(512 * MiB)
+            apu.touch(buf, "cpu")
+            out[skew] = cpu_chase_latency_ns(
+                cfg, 512 * MiB, ic=apu.infinity_cache,
+                frames=buf.vma.resident_frames(),
+            )
+        return out
+
+    latency = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation 2: free-list channel skew (malloc, 512 MiB CPU chase)",
+        ["skew", "latency_ns"],
+        [(k, f"{v:.1f}") for k, v in latency.items()],
+    )
+    assert latency[1.1] > latency[0.0] + 15
+
+
+def test_ablation_native_fp64_atomics(benchmark):
+    """Granting the CPU native FP64 atomics closes the 3x gap of Fig. 4."""
+
+    def run():
+        cfg = default_config()
+        native = cfg.replace(
+            atomics=dataclasses.replace(
+                cfg.atomics, cpu_fp64_overhead=1.0, cpu_cas_retry_ns=0.0
+            )
+        )
+        return (
+            cpu_atomic_throughput(cfg, 1, 1, "uint64")
+            / cpu_atomic_throughput(cfg, 1, 1, "fp64"),
+            cpu_atomic_throughput(native, 1, 1, "uint64")
+            / cpu_atomic_throughput(native, 1, 1, "fp64"),
+        )
+
+    cas_gap, native_gap = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation 3: CPU FP64 atomic implementation",
+        ["implementation", "UINT64 / FP64 throughput"],
+        [("CAS loop (x86)", f"{cas_gap:.2f}x"), ("native add", f"{native_gap:.2f}x")],
+    )
+    assert cas_gap == pytest.approx(3.0, rel=0.05)
+    assert native_gap == pytest.approx(1.0, rel=0.05)
+
+
+def test_ablation_up_front_contiguity(benchmark):
+    """One-page driver contiguity erases hipMalloc's bandwidth tier."""
+
+    def run():
+        out = {}
+        for contiguity in (64 << 10, 4 << 10):
+            cfg = small_config(2 << 30)
+            cfg = cfg.replace(
+                policy=dataclasses.replace(
+                    cfg.policy, up_front_contiguity_bytes=contiguity
+                )
+            )
+            apu = APU(config=cfg)
+            buf = apu.memory.hip_malloc(64 * MiB)
+            out[contiguity] = gpu_stream_bandwidth(cfg, apu.buffer_traits(buf))
+        return out
+
+    bandwidth = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation 4: driver allocation contiguity (hipMalloc GPU STREAM)",
+        ["contiguity", "bandwidth"],
+        [(f"{k >> 10} KiB", f"{v / 1e12:.2f} TB/s") for k, v in bandwidth.items()],
+    )
+    assert bandwidth[64 << 10] == pytest.approx(3.6e12, rel=0.02)
+    assert bandwidth[4 << 10] <= 2.2e12
+
+
+def test_ablation_prefault_scale_sweep(benchmark):
+    """The staged pre-faulting strategy only wins at scale: at small page
+    counts the extra pipeline stage costs more than it saves."""
+
+    def run():
+        cfg = default_config()
+        return {pages: prefault_speedup(cfg, pages) for pages in
+                (1, 10, 10_000, 1_000_000, 10_000_000)}
+
+    speedups = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation 5: CPU pre-faulting speedup vs scale",
+        ["pages", "speedup vs GPU-major"],
+        [(f"{k:,}", f"{v:.2f}x") for k, v in speedups.items()],
+    )
+    assert speedups[1] < 1.0  # staging loses when handler latency dominates
+    assert speedups[10_000_000] > 1.8  # the paper's 2.2x regime
+    values = list(speedups.values())
+    assert values == sorted(values)
+
+
+def test_ablation_eager_gpu_maps(benchmark):
+    """Eager maps (Bertolli et al. [11]) trade CPU-side mapping time for
+    zero GPU minor faults — the fix for nn-style fault-dominated kernels."""
+
+    def run():
+        out = {}
+        for eager in (False, True):
+            cfg = small_config(2 << 30)
+            cfg = cfg.replace(
+                policy=dataclasses.replace(cfg.policy, eager_gpu_maps=eager)
+            )
+            apu = APU(config=cfg, xnack=True)
+            buf = apu.memory.malloc(64 * MiB)
+            cpu_report = apu.faults.touch_range(buf.vma, 0, buf.npages, "cpu")
+            gpu_report = apu.faults.touch_range(buf.vma, 0, buf.npages, "gpu")
+            out[eager] = (
+                cpu_report.service_time_ns,
+                gpu_report.gpu_minor_pages,
+                gpu_report.service_time_ns,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        "Ablation 6: eager GPU maps (64 MiB malloc, CPU init then GPU read)",
+        ["eager", "cpu_init_ms", "gpu_minor_faults", "gpu_fault_ms"],
+        [
+            (eager, f"{cpu_ns / 1e6:.2f}", minor, f"{gpu_ns / 1e6:.3f}")
+            for eager, (cpu_ns, minor, gpu_ns) in results.items()
+        ],
+    )
+    lazy, eager = results[False], results[True]
+    assert eager[1] == 0  # no GPU minor faults at all
+    assert lazy[1] == 64 * MiB // 4096
+    assert eager[0] > lazy[0]  # paid on the CPU side instead
+    assert eager[2] < lazy[2]

@@ -1,0 +1,119 @@
+"""Fig. 2 — memory latency on GPU and CPU with different allocators.
+
+Regenerates the latency-vs-buffer-size curves (1 KiB to 4 GiB) for the
+paper's allocator set on both devices, and asserts the findings:
+
+* GPU plateaus: ~57 ns (L1), 100-108 ns (L2), 205-218 ns (IC),
+  333-350 ns (HBM);
+* CPU latency below GPU latency everywhere;
+* GPU latency insensitive to the allocator;
+* malloc/malloc+register already near the HBM plateau at 512 MiB while
+  HIP allocators increase gradually (Infinity Cache balance, Sec. 5.4).
+"""
+
+import pytest
+
+from conftest import print_table
+from repro.bench import multichase
+from repro.hw.config import GiB, KiB, MiB
+
+SIZES = [
+    1 * KiB, 32 * KiB, 1 * MiB, 32 * MiB, 128 * MiB,
+    256 * MiB, 512 * MiB, 1 * GiB, 2 * GiB, 4 * GiB,
+]
+
+ALLOCATORS = [
+    "malloc",
+    "malloc+register",
+    "hipMalloc",
+    "hipHostMalloc",
+    "hipMallocManaged(xnack=1)",
+]
+
+
+def run_sweep():
+    return multichase.full_sweep(
+        sizes=SIZES, allocators=ALLOCATORS, memory_gib=16
+    )
+
+
+@pytest.fixture(scope="module")
+def samples(request):
+    return run_sweep()
+
+
+def test_fig2_full_sweep(benchmark):
+    samples = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = [
+        (s.allocator, s.device, f"{s.size_bytes >> 10} KiB", f"{s.latency_ns:.1f}")
+        for s in samples
+    ]
+    print_table(
+        "Fig. 2: pointer-chase latency (ns)",
+        ["allocator", "device", "size", "latency_ns"],
+        rows,
+    )
+    assert len(samples) == len(SIZES) * len(ALLOCATORS) * 2
+
+
+def _lookup(samples, allocator, device, size):
+    for s in samples:
+        if (s.allocator, s.device, s.size_bytes) == (allocator, device, size):
+            return s.latency_ns
+    raise KeyError((allocator, device, size))
+
+
+def test_gpu_plateaus(samples):
+    assert _lookup(samples, "hipMalloc", "gpu", 1 * KiB) == pytest.approx(57, abs=2)
+    assert 100 <= _lookup(samples, "hipMalloc", "gpu", 1 * MiB) <= 108
+    assert 205 <= _lookup(samples, "hipMalloc", "gpu", 128 * MiB) <= 218
+    assert 333 <= _lookup(samples, "hipMalloc", "gpu", 4 * GiB) <= 350
+
+
+def test_cpu_always_below_gpu(samples):
+    for allocator in ALLOCATORS:
+        for size in SIZES:
+            cpu = _lookup(samples, allocator, "cpu", size)
+            gpu = _lookup(samples, allocator, "gpu", size)
+            assert cpu < gpu, (allocator, size)
+
+
+def test_gpu_latency_allocator_insensitive(samples):
+    for size in SIZES:
+        values = {
+            round(_lookup(samples, a, "gpu", size), 1) for a in ALLOCATORS
+        }
+        assert max(values) - min(values) < 2.0, size
+
+
+def test_cpu_l3_advantage_region(samples):
+    """The CPU's 96 MiB L3 (missing on the GPU) gives it a large edge for
+    mid-size working sets."""
+    cpu = _lookup(samples, "hipMalloc", "cpu", 32 * MiB)
+    gpu = _lookup(samples, "hipMalloc", "gpu", 32 * MiB)
+    assert gpu / cpu > 5
+
+
+def test_malloc_plateaus_early_on_cpu(samples):
+    """At 512 MiB malloc'd memory is close to its terminal latency while
+    hipMalloc'd memory is still clearly below it (Section 5.4)."""
+    malloc_512 = _lookup(samples, "malloc", "cpu", 512 * MiB)
+    malloc_4g = _lookup(samples, "malloc", "cpu", 4 * GiB)
+    hip_512 = _lookup(samples, "hipMalloc", "cpu", 512 * MiB)
+    hip_4g = _lookup(samples, "hipMalloc", "cpu", 4 * GiB)
+    assert malloc_512 > hip_512 + 10
+    assert malloc_512 > 0.8 * malloc_4g  # already near its plateau...
+    # ...with less climb left than the gradually-increasing HIP curve.
+    assert (malloc_4g - malloc_512) < (hip_4g - hip_512)
+
+
+def test_registered_memory_behaves_like_malloc(samples):
+    a = _lookup(samples, "malloc", "cpu", 512 * MiB)
+    b = _lookup(samples, "malloc+register", "cpu", 512 * MiB)
+    assert b == pytest.approx(a, rel=0.1)
+
+
+def test_all_cpu_curves_converge_at_4gib(samples):
+    values = [_lookup(samples, a, "cpu", 4 * GiB) for a in ALLOCATORS]
+    assert max(values) - min(values) < 15
+    assert all(225 <= v <= 245 for v in values)

@@ -1,0 +1,142 @@
+"""Fig. 4 — atomics throughput on CPU and GPU, isolated.
+
+Regenerates the eight panels (CPU/GPU x UINT64/FP64 x four array sizes)
+of the parallel-histogram benchmark's thread sweeps and asserts the
+paper's findings about contention, cache fit, and the CAS-loop FP64
+penalty.  A functional histogram run checks the conservation invariant
+the real benchmark relies on.
+"""
+
+import pytest
+
+from conftest import fmt_rate, print_table
+from repro.bench import histogram
+
+SIZES = histogram.ARRAY_SIZES
+SIZE_LABELS = {1: "1", 1 << 10: "1K", 1 << 20: "1M", 1 << 30: "1G"}
+
+
+def run_sweep():
+    out = {}
+    for dtype in ("uint64", "fp64"):
+        for elements in SIZES:
+            out[("cpu", dtype, elements)] = histogram.cpu_sweep(elements, dtype)
+            out[("gpu", dtype, elements)] = histogram.gpu_sweep(elements, dtype)
+    return out
+
+
+@pytest.fixture(scope="module")
+def sweeps():
+    return run_sweep()
+
+
+def _tput(sweeps, device, dtype, elements, threads):
+    for s in sweeps[(device, dtype, elements)]:
+        if s.threads == threads:
+            return s.updates_per_s
+    raise KeyError(threads)
+
+
+def test_fig4_sweep(benchmark):
+    sweeps = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = []
+    for (device, dtype, elements), samples in sweeps.items():
+        for s in samples:
+            rows.append(
+                (device, dtype, SIZE_LABELS[elements], s.threads,
+                 fmt_rate(s.updates_per_s, "upd/s"))
+            )
+    print_table(
+        "Fig. 4: atomics throughput",
+        ["device", "dtype", "array", "threads", "throughput"],
+        rows,
+    )
+    expected = 2 * 4 * (len(histogram.CPU_THREADS) + len(histogram.GPU_THREADS))
+    assert len(rows) == expected
+
+
+class TestCPURow:
+    def test_one_thread_beats_two_or_three_on_small_arrays(self, sweeps):
+        for elements in (1, 1 << 10, 1 << 20):
+            one = _tput(sweeps, "cpu", "uint64", elements, 1)
+            assert _tput(sweeps, "cpu", "uint64", elements, 2) < one
+            assert _tput(sweeps, "cpu", "uint64", elements, 3) < one
+
+    def test_1m_overtaken_at_six_threads_then_scales(self, sweeps):
+        one = _tput(sweeps, "cpu", "uint64", 1 << 20, 1)
+        assert _tput(sweeps, "cpu", "uint64", 1 << 20, 6) > one
+        t12 = _tput(sweeps, "cpu", "uint64", 1 << 20, 12)
+        t24 = _tput(sweeps, "cpu", "uint64", 1 << 20, 24)
+        assert t24 / t12 == pytest.approx(2.0, rel=0.15)
+
+    def test_1g_scales_linearly_with_lower_slope(self, sweeps):
+        t6 = _tput(sweeps, "cpu", "uint64", 1 << 30, 6)
+        t24 = _tput(sweeps, "cpu", "uint64", 1 << 30, 24)
+        assert t24 / t6 == pytest.approx(4.0, rel=0.15)
+        assert t24 < _tput(sweeps, "cpu", "uint64", 1 << 20, 24)
+
+    def test_uint64_about_3x_fp64(self, sweeps):
+        ratio = _tput(sweeps, "cpu", "uint64", 1, 1) / _tput(
+            sweeps, "cpu", "fp64", 1, 1
+        )
+        assert ratio == pytest.approx(3.0, rel=0.1)
+
+    def test_fp64_1k_similar_or_slower_than_1g(self, sweeps):
+        for threads in (12, 24):
+            t1k = _tput(sweeps, "cpu", "fp64", 1 << 10, threads)
+            t1g = _tput(sweeps, "cpu", "fp64", 1 << 30, threads)
+            assert t1k <= 1.25 * t1g
+
+    def test_uint64_1k_consistently_faster_than_1g(self, sweeps):
+        for threads in (1, 2, 3, 6, 12, 24):
+            assert _tput(sweeps, "cpu", "uint64", 1 << 10, threads) > \
+                _tput(sweeps, "cpu", "uint64", 1 << 30, threads)
+
+    def test_single_element_decreases_with_threads(self, sweeps):
+        series = [
+            _tput(sweeps, "cpu", "uint64", 1, t) for t in (1, 2, 3, 6, 12, 24)
+        ]
+        assert series[0] == max(series)
+
+
+class TestGPURow:
+    def test_fp64_equals_uint64(self, sweeps):
+        for elements in SIZES:
+            for threads in (64, 3328, 14592):
+                assert _tput(sweeps, "gpu", "uint64", elements, threads) == \
+                    _tput(sweeps, "gpu", "fp64", elements, threads)
+
+    def test_gpu_far_above_cpu_except_few_threads_or_one_element(self, sweeps):
+        # Plenty of threads on 1M: GPU >> CPU.
+        assert _tput(sweeps, "gpu", "uint64", 1 << 20, 6400) > \
+            10 * _tput(sweeps, "cpu", "uint64", 1 << 20, 24)
+        # One element: CPU single-thread wins.
+        assert _tput(sweeps, "gpu", "uint64", 1, 14592) < \
+            _tput(sweeps, "cpu", "uint64", 1, 1)
+        # 64 GPU threads: no decisive GPU advantage.
+        assert _tput(sweeps, "gpu", "uint64", 1 << 20, 64) < \
+            _tput(sweeps, "cpu", "uint64", 1 << 20, 24)
+
+    def test_1m_highest_and_scales(self, sweeps):
+        t_small = _tput(sweeps, "gpu", "uint64", 1 << 20, 640)
+        t_big = _tput(sweeps, "gpu", "uint64", 1 << 20, 6400)
+        assert t_big > 5 * t_small
+        at_max = {s: _tput(sweeps, "gpu", "uint64", s, 14592) for s in SIZES}
+        assert max(at_max, key=at_max.get) == 1 << 20
+
+    def test_one_element_flat(self, sweeps):
+        values = {
+            _tput(sweeps, "gpu", "uint64", 1, t)
+            for t in (640, 3328, 14592)
+        }
+        assert len(values) == 1
+
+
+def test_histogram_conservation_invariant(benchmark):
+    hist = benchmark.pedantic(
+        histogram.run_histogram_kernel,
+        kwargs=dict(elements=1 << 10, updates=200_000, workers=24),
+        rounds=1,
+        iterations=1,
+    )
+    assert hist.sum() == 200_000

@@ -1,0 +1,103 @@
+"""Fig. 7 — page-fault throughput in four scenarios.
+
+Regenerates the throughput-vs-page-count curves (GPU Major, GPU Minor,
+1CPU, 12CPU) from the calibrated fault model, cross-checked against the
+live simulator at a plateau point, and asserts the paper's plateaus,
+saturation positions, and the 2.2x CPU pre-faulting speedup.
+"""
+
+import pytest
+
+from conftest import fmt_rate, print_table
+from repro.bench import pagefault
+from repro.hw.config import default_config
+from repro.perf.faultmodel import prefault_speedup
+
+PAGE_COUNTS = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+
+
+def run_sweep():
+    return pagefault.full_throughput_sweep(page_counts=PAGE_COUNTS)
+
+
+@pytest.fixture(scope="module")
+def curves():
+    samples = run_sweep()
+    out = {}
+    for s in samples:
+        out.setdefault(s.scenario, {})[s.pages] = s.pages_per_s
+    return out
+
+
+def test_fig7_sweep(benchmark):
+    samples = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "Fig. 7: page-fault throughput",
+        ["scenario", "pages", "throughput"],
+        [(s.scenario, f"{s.pages:,}", fmt_rate(s.pages_per_s, "pages/s"))
+         for s in samples],
+    )
+    assert len(samples) == 4 * len(PAGE_COUNTS)
+
+
+class TestPlateaus:
+    def test_gpu_major_1_1m_at_10k(self, curves):
+        assert curves["gpu_major"][10_000] == pytest.approx(1.1e6, rel=0.1)
+        assert curves["gpu_major"][10_000_000] == pytest.approx(1.1e6, rel=0.05)
+
+    def test_gpu_minor_9m_at_10m(self, curves):
+        assert curves["gpu_minor"][10_000_000] == pytest.approx(9.0e6, rel=0.05)
+
+    def test_cpu_872k_at_1k(self, curves):
+        assert curves["cpu"][1_000] == pytest.approx(872e3, rel=0.15)
+        assert curves["cpu"][100_000] == pytest.approx(872e3, rel=0.02)
+
+    def test_cpu12_3_7m_at_10k(self, curves):
+        assert curves["cpu12"][10_000] == pytest.approx(3.7e6, rel=0.05)
+
+
+class TestShapes:
+    def test_all_curves_ramp_then_plateau(self, curves):
+        for scenario, curve in curves.items():
+            series = [curve[n] for n in PAGE_COUNTS]
+            assert series == sorted(series), scenario
+            assert series[0] < 0.2 * series[-1], scenario
+
+    def test_gpu_minor_keeps_climbing_to_10m(self, curves):
+        assert curves["gpu_minor"][10_000_000] > 1.05 * curves["gpu_minor"][1_000_000]
+
+    def test_minor_dominates_major_at_scale(self, curves):
+        for n in (100_000, 1_000_000, 10_000_000):
+            assert curves["gpu_minor"][n] > 3 * curves["gpu_major"][n]
+
+    def test_cpu12_vs_cpu1_scaling(self, curves):
+        ratio = curves["cpu12"][100_000] / curves["cpu"][100_000]
+        assert ratio == pytest.approx(4.24, rel=0.05)
+
+
+def test_prefaulting_strategy_speedup(benchmark):
+    """12CPU pre-fault + GPU minor vs GPU major: ~2.2x at 10 M pages."""
+    speedup = benchmark.pedantic(
+        prefault_speedup, args=(default_config(), 10_000_000),
+        rounds=1, iterations=1,
+    )
+    assert 1.8 <= speedup <= 2.8
+
+
+def test_live_simulator_agrees_at_plateau(benchmark):
+    def measure():
+        return {
+            scenario: pagefault.measured_throughput(scenario, 50_000)
+            for scenario in ("cpu", "cpu12", "gpu_major", "gpu_minor")
+        }
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print_table(
+        "Fig. 7 cross-check: live simulator at 50 K pages",
+        ["scenario", "throughput"],
+        [(k, fmt_rate(v, "pages/s")) for k, v in measured.items()],
+    )
+    assert measured["cpu"] == pytest.approx(872e3, rel=0.2)
+    assert measured["gpu_major"] == pytest.approx(1.1e6, rel=0.2)
+    assert measured["gpu_minor"] > measured["gpu_major"]
+    assert measured["cpu12"] > 2 * measured["cpu"]

@@ -1,0 +1,81 @@
+"""Extension — inter-APU communication on a 4-APU node.
+
+The paper's testbed has four MI300As per node; its companion study
+(Schieffer et al. [30]) characterises the xGMI links between them and
+finds hipMalloc buffers give the best communication performance — the
+same allocator properties that win inside one APU.  This bench
+regenerates that node-level allocator ordering and the all-to-all
+exchange costs.
+"""
+
+import pytest
+
+from conftest import fmt_rate, print_table
+from repro.hw.config import MiB
+from repro.hw.node import MI300ANode
+
+
+def run_sweep():
+    node = MI300ANode(apu_memory_gib=1, xnack=True)
+    apu = node.apu(0)
+    buffers = {
+        "hipMalloc": apu.memory.hip_malloc(64 * MiB),
+        "hipHostMalloc": apu.memory.hip_host_malloc(64 * MiB),
+        "malloc": apu.memory.malloc(64 * MiB),
+    }
+    peer = {
+        name: node.peer_bandwidth(buf) for name, buf in buffers.items()
+    }
+    all_to_all = {
+        name: node.all_to_all_time_ns(64 * MiB, name) / 1e6
+        for name in buffers
+    }
+    return node, peer, all_to_all
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_sweep()
+
+
+def test_node_sweep(benchmark):
+    node, peer, all_to_all = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    print_table(
+        "Inter-APU peer bandwidth by source allocator (64 MiB)",
+        ["allocator", "peer bandwidth", "all-to-all (ms)"],
+        [(name, fmt_rate(bw, "B/s"), f"{all_to_all[name]:.2f}")
+         for name, bw in peer.items()],
+    )
+    assert len(peer) == 3
+
+
+def test_hipmalloc_best_for_communication(results):
+    _, peer, _ = results
+    assert peer["hipMalloc"] > peer["hipHostMalloc"] > peer["malloc"]
+
+
+def test_hipmalloc_saturates_xgmi(results):
+    node, peer, _ = results
+    assert peer["hipMalloc"] == pytest.approx(
+        node.config.xgmi_link_bandwidth_bytes_per_s
+    )
+
+
+def test_pageable_pays_about_3x(results):
+    _, peer, _ = results
+    assert peer["hipMalloc"] / peer["malloc"] == pytest.approx(3.0, rel=0.05)
+
+
+def test_node_binding_isolates_single_apu(benchmark):
+    """The paper's methodology: numactl + HIP_VISIBLE_DEVICES to one APU."""
+
+    def run():
+        node = MI300ANode(apu_memory_gib=1, xnack=True)
+        apu = node.bind(2)
+        apu.memory.hip_malloc(16 * MiB)
+        return node, apu
+
+    node, apu = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert apu.physical.used_bytes == 16 * MiB
+    with pytest.raises(PermissionError):
+        node.apu(0)

@@ -1,0 +1,84 @@
+"""Table 2 — overview of the experimental method.
+
+Regenerates the methodology inventory: every benchmark, profiling tool,
+and HPC workload of the paper, mapped to the module in this repository
+that implements it.  The assertions verify the inventory is *live* —
+each entry imports and exposes its expected entry points.
+"""
+
+import importlib
+
+import pytest
+
+from conftest import print_table
+
+BENCHMARKS = [
+    ("Memory latency", "multichase", "repro.bench.multichase", "full_sweep"),
+    ("Memory bandwidth", "STREAM", "repro.bench.stream", "gpu_triad"),
+    ("Legacy transfer", "hip-bandwidth", "repro.bench.hipbandwidth", "full_sweep"),
+    ("Coherence overhead", "custom", "repro.bench.histogram", "hybrid_grid"),
+    ("Allocation speed", "custom", "repro.bench.allocspeed", "full_cost_sweep"),
+    ("Page fault overhead", "custom", "repro.bench.pagefault",
+     "full_throughput_sweep"),
+]
+
+PROFILING = [
+    ("Memory usage", "libnuma", "repro.profiling.memusage",
+     "MemoryUsageProfiler"),
+    ("GPU fragment size", "rocprofv3", "repro.profiling.rocprof", "RocProf"),
+    ("CPU allocation size", "perf", "repro.profiling.perfstat", "PerfStat"),
+]
+
+WORKLOADS = [
+    ("backprop", "repro.apps.backprop", "Backprop"),
+    ("dwt2d", "repro.apps.dwt2d", "Dwt2d"),
+    ("heartwall", "repro.apps.heartwall", "Heartwall"),
+    ("hotspot", "repro.apps.hotspot", "Hotspot"),
+    ("nn", "repro.apps.nn", "NearestNeighbor"),
+    ("srad_v1", "repro.apps.srad", "SradV1"),
+]
+
+
+def build_inventory():
+    rows = []
+    for purpose, tool, module_name, attr in BENCHMARKS:
+        module = importlib.import_module(module_name)
+        assert hasattr(module, attr), (module_name, attr)
+        rows.append(("benchmark", purpose, tool, module_name))
+    for purpose, tool, module_name, attr in PROFILING:
+        module = importlib.import_module(module_name)
+        assert hasattr(module, attr), (module_name, attr)
+        rows.append(("profiling", purpose, tool, module_name))
+    for name, module_name, attr in WORKLOADS:
+        module = importlib.import_module(module_name)
+        assert hasattr(module, attr), (module_name, attr)
+        rows.append(("workload", name, "Rodinia", module_name))
+    return rows
+
+
+def test_table2_inventory(benchmark):
+    rows = benchmark.pedantic(build_inventory, rounds=1, iterations=1)
+    print_table(
+        "Table 2: experimental method inventory",
+        ["kind", "purpose", "tool", "module"],
+        rows,
+    )
+    assert len(rows) == len(BENCHMARKS) + len(PROFILING) + len(WORKLOADS)
+
+
+def test_all_six_rodinia_workloads_present():
+    from repro.apps import ALL_APPS
+
+    assert len(ALL_APPS) == 6
+    for name, _, attr in WORKLOADS:
+        assert name in ALL_APPS
+
+
+def test_workloads_runnable():
+    from repro.apps import ALL_APPS
+
+    for cls in ALL_APPS.values():
+        app = cls()
+        assert app.name
+        assert "explicit" in app.variants
+        assert app.default_params()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Allocator tuning: choosing memory allocators for an HPC workload.
+
+Sweeps the Table 1 allocators over three workload archetypes the paper's
+characterization distinguishes:
+
+* a bandwidth-bound GPU stencil (Fig. 3's regime),
+* an allocation-heavy adaptive-mesh loop (Fig. 6's regime — frequent
+  alloc/free of varying block sizes),
+* a latency-sensitive CPU traversal near the Infinity Cache capacity
+  (Fig. 2 / Section 5.4's regime),
+
+and prints the recommendation the paper arrives at: hipMalloc for
+up-front GPU data, malloc (with GPU first-touch if the GPU consumes it)
+for dynamic host data.
+
+Run:  python examples/allocator_tuning.py
+"""
+
+import numpy as np
+
+from repro import BufferAccess, KernelSpec, make_runtime
+from repro.core.allocators import free_cost_ns, hip_malloc_cost_ns, malloc_cost_ns
+from repro.hw.config import MiB, default_config
+from repro.perf.latency import cpu_chase_latency_ns
+
+ALLOCATORS = ["hipMalloc", "hipHostMalloc", "hipMallocManaged", "malloc"]
+
+
+def stencil_bandwidth(allocator: str) -> float:
+    """GPU TRIAD-like stencil over 3 x 128 MiB buffers."""
+    hip = make_runtime(memory_gib=8, xnack=True)
+    buffers = [hip.array(32 << 20, np.float32, allocator) for _ in range(3)]
+    for buf in buffers:
+        hip.apu.touch(buf.allocation, "cpu")
+    spec = KernelSpec(
+        "stencil",
+        [BufferAccess(b.allocation, "read" if i < 2 else "write", passes=10)
+         for i, b in enumerate(buffers)],
+    )
+    result = hip.launchKernel(spec)
+    hip.hipDeviceSynchronize()
+    return 3 * (128 << 20) * 10 / (result.memory_ns / 1e9)
+
+
+def amr_loop_cost(allocator: str) -> float:
+    """Adaptive-mesh refinement pattern: alloc/free at every refinement."""
+    cfg = default_config()
+    total = 0.0
+    for level in range(8):
+        size = (1 << level) * MiB
+        if allocator == "malloc":
+            total += malloc_cost_ns(cfg, size)
+            total += 10.0  # free below threshold
+        else:
+            total += hip_malloc_cost_ns(cfg, size)
+            total += hip_malloc_cost_ns(cfg, size) * 0.6  # hipFree estimate
+    return total / 1e3  # us
+
+
+def traversal_latency(allocator: str) -> float:
+    """CPU pointer chase over a 384 MiB graph (IC-capacity regime)."""
+    hip = make_runtime(memory_gib=16, xnack=True)
+    buf = hip.array(96 << 20, np.float32, allocator)
+    hip.apu.touch(buf.allocation, "cpu")
+    return cpu_chase_latency_ns(
+        hip.apu.config,
+        384 << 20,
+        ic=hip.apu.infinity_cache,
+        frames=buf.allocation.vma.resident_frames(),
+    )
+
+
+def main() -> None:
+    print("Workload 1: bandwidth-bound GPU stencil (higher is better)")
+    results = {a: stencil_bandwidth(a) for a in ALLOCATORS}
+    for a, bw in sorted(results.items(), key=lambda kv: -kv[1]):
+        print(f"  {a:18s} {bw / 1e12:6.2f} TB/s")
+    best = max(results, key=results.get)
+    print(f"  -> {best} wins: large fragments keep the GPU TLB ahead\n")
+
+    print("Workload 2: AMR-style allocation churn (lower is better)")
+    costs = {a: amr_loop_cost(a) for a in ("malloc", "hipMalloc")}
+    for a, us in sorted(costs.items(), key=lambda kv: kv[1]):
+        print(f"  {a:18s} {us:10.1f} us per refinement cycle")
+    print("  -> malloc wins by orders of magnitude; pay page faults at\n"
+          "     first touch instead (or pre-fault from 12 CPU cores)\n")
+
+    print("Workload 3: CPU latency-bound traversal, 384 MiB working set")
+    lats = {a: traversal_latency(a) for a in ("malloc", "hipMalloc")}
+    for a, ns in sorted(lats.items(), key=lambda kv: kv[1]):
+        print(f"  {a:18s} {ns:7.1f} ns/access")
+    print("  -> hipMalloc's balanced channel mapping keeps the Infinity\n"
+          "     Cache effective; malloc pages thrash the hot slices")
+
+
+if __name__ == "__main__":
+    main()

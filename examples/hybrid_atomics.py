@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Hybrid CPU-GPU atomics: partitioning a shared histogram workload.
+
+Uses the Fig. 4/5 contention models to answer a design question the
+paper's coherence study enables: given a histogram with a fixed total
+update budget, how should work be split between CPU threads and GPU
+threads — and when is co-running worth it at all?
+
+Run:  python examples/hybrid_atomics.py
+"""
+
+from repro.bench.histogram import run_histogram_kernel
+from repro.hw.config import default_config
+from repro.perf.atomics import (
+    cpu_atomic_throughput,
+    gpu_atomic_throughput,
+    hybrid_atomic_throughput,
+)
+
+
+def best_partition(elements: int, dtype: str = "uint64"):
+    """Sweep CPU/GPU thread splits; return (cpu_t, gpu_t, combined)."""
+    cfg = default_config()
+    best = (0, 0, 0.0)
+    for cpu_threads in (0, 1, 3, 6, 12, 24):
+        for gpu_threads in (0, 64, 640, 2304, 6400, 14592):
+            if cpu_threads == 0 and gpu_threads == 0:
+                continue
+            if cpu_threads == 0:
+                combined = gpu_atomic_throughput(cfg, elements, gpu_threads, dtype)
+            elif gpu_threads == 0:
+                combined = cpu_atomic_throughput(cfg, elements, cpu_threads, dtype)
+            else:
+                h = hybrid_atomic_throughput(
+                    cfg, elements, cpu_threads, gpu_threads, dtype
+                )
+                combined = h.cpu_updates_per_s + h.gpu_updates_per_s
+            if combined > best[2]:
+                best = (cpu_threads, gpu_threads, combined)
+    return best
+
+
+def main() -> None:
+    print("Functional check: histogram conservation on 24 workers")
+    hist = run_histogram_kernel(1 << 10, updates=1_000_000, workers=24)
+    print(f"  sum(histogram) = {int(hist.sum()):,} == 1,000,000 updates\n")
+
+    print(f"{'array':>6s} {'dtype':>7s} {'best split (cpu, gpu)':>24s} "
+          f"{'combined':>14s} {'advice'}")
+    for elements, label in ((1, "1"), (1 << 10, "1K"), (1 << 20, "1M"),
+                            (1 << 30, "1G")):
+        for dtype in ("uint64", "fp64"):
+            cpu_t, gpu_t, combined = best_partition(elements, dtype)
+            if gpu_t == 0:
+                advice = "CPU only: serialisation kills the GPU here"
+            elif cpu_t == 0:
+                advice = "GPU only: CPU would be crushed by line bouncing"
+            else:
+                advice = "co-run: shared L2 residency benefits both"
+            print(f"{label:>6s} {dtype:>7s} {f'({cpu_t}, {gpu_t})':>24s} "
+                  f"{combined / 1e9:11.2f} G/s {advice}")
+
+    print("\nKey takeaways (paper Section 4.4):")
+    print(" * minimise collision probability: bigger arrays contend less")
+    print(" * keep the dataset inside L2 (1M elements is the sweet spot)")
+    print(" * FP64 on the CPU pays the CAS-loop penalty under contention")
+    print(" * contention hurts the CPU far more than the GPU when co-running")
+
+
+if __name__ == "__main__":
+    main()

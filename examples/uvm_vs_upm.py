@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""UPM vs UVM: what hardware unification buys.
+
+Runs the same alternating CPU/GPU pipeline under three memory models —
+the explicit model on a discrete GPU, software unified memory (UVM) on
+the same discrete GPU, and the unified model on the simulated MI300A's
+unified physical memory — then shows the one thing UVM still does that
+UPM cannot: oversubscribe device memory.
+
+Run:  python examples/uvm_vs_upm.py
+"""
+
+from repro.core.physical import OutOfMemoryError
+from repro.hw.config import GiB, MiB
+from repro.runtime import make_apu
+from repro.uvm import UVMConfig, UVMSystem, three_way_comparison
+
+
+def main() -> None:
+    print("Alternating CPU update -> GPU kernel, 1 GiB working set, x10\n")
+    results = three_way_comparison(working_set_bytes=1 * GiB, iterations=10)
+    baseline = results["explicit/discrete"]
+    print(f"{'model':26s} {'time':>10s} {'vs explicit':>12s} {'data moved':>12s}")
+    for name, r in results.items():
+        print(
+            f"{name:26s} {r.time_ms:8.1f}ms {r.relative_to(baseline):10.2f}x "
+            f"{r.moved_bytes >> 20:>9} MiB"
+        )
+
+    print("\nThe paper's story in three lines:")
+    uvm_rel = results["uvm/discrete"].relative_to(baseline)
+    upm_rel = results["upm/MI300A"].relative_to(baseline)
+    print(f" * UVM pays {uvm_rel:.1f}x for the unified model's convenience")
+    print(f" * UPM delivers the same model at {upm_rel:.2f}x — faster than")
+    print("   explicit management, with zero bytes moved\n")
+
+    print("What UPM gives up (Section 2.1): oversubscription")
+    uvm = UVMSystem(UVMConfig(device_memory_bytes=1 * GiB))
+    big = uvm.malloc_managed(2 * GiB, "oversubscribed")
+    uvm.run_gpu_kernel({big: 2 * GiB})
+    print(f" * UVM runs a 2 GiB kernel on a 1 GiB GPU "
+          f"(evicted {uvm.counters.evicted_bytes >> 20} MiB along the way)")
+
+    apu = make_apu(1, xnack=True)  # a 1 GiB APU
+    try:
+        buf = apu.memory.malloc(2 * GiB)
+        apu.touch(buf, "gpu")
+        print(" * UPM somehow ran it too?!")
+    except OutOfMemoryError:
+        print(" * UPM raises OutOfMemory: one physical pool, no host to"
+              " spill to")
+
+
+if __name__ == "__main__":
+    main()

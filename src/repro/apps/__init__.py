@@ -1,0 +1,38 @@
+"""Six Rodinia workloads ported to the unified memory model (Section 6).
+
+Each app implements the explicit baseline and one or more unified
+variants; ``ALL_APPS`` is the registry used by the Fig. 11 bench.
+"""
+
+from .backprop import Backprop
+from .common import AppResult, Comparison, RodiniaApp, compare, simulate_io
+from .dwt2d import Dwt2d
+from .heartwall import Heartwall
+from .hotspot import Hotspot
+from .nn import NearestNeighbor
+from .srad import SradV1
+
+#: Registry of the paper's six applications.
+ALL_APPS = {
+    "backprop": Backprop,
+    "dwt2d": Dwt2d,
+    "heartwall": Heartwall,
+    "hotspot": Hotspot,
+    "nn": NearestNeighbor,
+    "srad_v1": SradV1,
+}
+
+__all__ = [
+    "ALL_APPS",
+    "AppResult",
+    "Backprop",
+    "Comparison",
+    "Dwt2d",
+    "Heartwall",
+    "Hotspot",
+    "NearestNeighbor",
+    "RodiniaApp",
+    "SradV1",
+    "compare",
+    "simulate_io",
+]

@@ -1,0 +1,171 @@
+"""Shared harness for the six ported Rodinia workloads (paper Section 3.4).
+
+Every application is implemented twice:
+
+* an **explicit** variant, the hipify-style baseline: separate host and
+  device allocations, hipMemcpy at the phase boundaries (Listing 1);
+* a **unified** variant: one allocation per logical buffer, no copies
+  (Listing 2), using the Section 3.3 porting strategies where a
+  challenge arises.
+
+Both variants do the numerically identical computation with numpy, so
+equality of their outputs is an invariant the test suite checks.  Total
+time is what ``/usr/bin/time`` would report on the simulated clock; the
+compute phase is bracketed with the inserted-timer analogue (clock
+regions).  Peak memory is sampled libnuma-style.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..profiling.memusage import MemoryUsageProfiler
+from ..runtime.apu import APU
+from ..runtime.hip import HipRuntime, make_runtime
+
+#: Simulated filesystem streaming bandwidth for I/O phases (bytes/s).
+IO_BANDWIDTH = 2.0e9
+
+
+@dataclass(frozen=True)
+class AppResult:
+    """One application run's headline numbers (one bar group of Fig. 11)."""
+
+    app: str
+    variant: str
+    total_time_s: float
+    compute_time_s: float
+    peak_memory_bytes: int
+    checksum: float
+
+    @property
+    def io_time_s(self) -> float:
+        """Non-compute portion of the run."""
+        return self.total_time_s - self.compute_time_s
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Unified-vs-explicit ratios, normalised to the explicit baseline."""
+
+    app: str
+    variant: str
+    total_time_ratio: float
+    compute_time_ratio: float
+    memory_ratio: float
+
+
+def compare(baseline: AppResult, candidate: AppResult) -> Comparison:
+    """Normalise *candidate* to *baseline* (the Fig. 11 presentation)."""
+    if baseline.app != candidate.app:
+        raise ValueError("comparing different applications")
+    return Comparison(
+        app=candidate.app,
+        variant=candidate.variant,
+        total_time_ratio=candidate.total_time_s / baseline.total_time_s,
+        compute_time_ratio=candidate.compute_time_s / baseline.compute_time_s,
+        memory_ratio=candidate.peak_memory_bytes
+        / max(1, baseline.peak_memory_bytes),
+    )
+
+
+def simulate_io(apu: APU, nbytes: int) -> None:
+    """Advance the clock by a file-read/write of *nbytes*."""
+    if nbytes < 0:
+        raise ValueError(f"negative I/O size {nbytes}")
+    apu.clock.advance(nbytes / IO_BANDWIDTH * 1e9)
+
+
+class RodiniaApp(abc.ABC):
+    """Base class for the six ported workloads."""
+
+    #: Application name (matches the Rodinia binary name).
+    name: str = ""
+    #: Variant labels this app supports.
+    variants: Tuple[str, ...] = ("explicit", "unified")
+
+    def default_params(self) -> Dict[str, int]:
+        """Problem-size parameters (overridable per run)."""
+        return {}
+
+    @abc.abstractmethod
+    def _run(
+        self,
+        variant: str,
+        runtime: HipRuntime,
+        profiler: MemoryUsageProfiler,
+        params: Dict[str, int],
+    ) -> float:
+        """Execute one variant; returns the output checksum.
+
+        Implementations bracket the main compute phase with
+        ``runtime.apu.clock.region("compute")``.
+        """
+
+    def needs_xnack(self, variant: str) -> bool:
+        """Whether the variant relies on GPU fault replay.
+
+        Unified variants touch pageable memory from the GPU (nn's
+        std::vector is the paper's example) and therefore run with
+        HSA_XNACK=1, as the paper's unified configurations do.
+        """
+        return variant != "explicit"
+
+    def run(
+        self,
+        variant: str = "explicit",
+        memory_gib: Optional[int] = 16,
+        params: Optional[Dict[str, int]] = None,
+        seed: int = 0x1300A,
+    ) -> AppResult:
+        """Run one variant on a fresh APU and collect the Fig. 11 metrics."""
+        if variant not in self.variants:
+            raise ValueError(
+                f"{self.name} supports variants {self.variants}, "
+                f"got {variant!r}"
+            )
+        merged = dict(self.default_params())
+        if params:
+            unknown = set(params) - set(merged)
+            if unknown:
+                raise ValueError(f"unknown params for {self.name}: {unknown}")
+            merged.update(params)
+        runtime = make_runtime(
+            memory_gib, xnack=self.needs_xnack(variant), seed=seed
+        )
+        apu = runtime.apu
+        profiler = MemoryUsageProfiler(apu)
+        start = apu.clock.now_ns
+        with apu.clock.region("total"):
+            checksum = self._run(variant, runtime, profiler, merged)
+            runtime.hipDeviceSynchronize()
+        profiler.sample()
+        total_s = (apu.clock.now_ns - start) / 1e9
+        compute_s = apu.clock.region_ns("compute") / 1e9
+        return AppResult(
+            app=self.name,
+            variant=variant,
+            total_time_s=total_s,
+            compute_time_s=compute_s,
+            peak_memory_bytes=profiler.peak_bytes,
+            checksum=float(checksum),
+        )
+
+    def compare_variants(
+        self,
+        variants: Optional[Iterable[str]] = None,
+        memory_gib: Optional[int] = 16,
+        params: Optional[Dict[str, int]] = None,
+    ) -> Dict[str, Comparison]:
+        """Run the explicit baseline plus *variants*; return Fig. 11 rows."""
+        baseline = self.run("explicit", memory_gib=memory_gib, params=params)
+        chosen = list(variants) if variants is not None else [
+            v for v in self.variants if v != "explicit"
+        ]
+        out: Dict[str, Comparison] = {}
+        for variant in chosen:
+            result = self.run(variant, memory_gib=memory_gib, params=params)
+            out[variant] = compare(baseline, result)
+        return out

@@ -1,0 +1,144 @@
+"""Parallel-histogram atomics benchmark (paper Figs. 4-5).
+
+An array of 2^0, 2^10, 2^20, or 2^30 UINT64/FP64 elements is updated at
+random indices with atomic adds, from CPU threads, GPU threads, or both
+at once.  Throughput comes from the contention model in
+:mod:`repro.perf.atomics`; the *functional* side (random increments and
+the conservation invariant that total count equals total updates) is
+executed with numpy so correctness is testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..hw.config import MI300AConfig, default_config
+from ..perf.atomics import (
+    DType,
+    HybridThroughput,
+    cpu_atomic_throughput,
+    gpu_atomic_throughput,
+    hybrid_atomic_throughput,
+)
+
+#: The paper's four array sizes (elements).
+ARRAY_SIZES = [1, 1 << 10, 1 << 20, 1 << 30]
+
+#: CPU thread counts swept in Fig. 4's first row.
+CPU_THREADS = [1, 2, 3, 6, 12, 24]
+
+#: GPU thread counts swept in Fig. 4's second row (64-thread blocks).
+GPU_THREADS = [64, 640, 1280, 2304, 3328, 6400, 10496, 14592]
+
+
+@dataclass(frozen=True)
+class AtomicsSample:
+    """One point on a Fig. 4 curve."""
+
+    device: str
+    dtype: DType
+    elements: int
+    threads: int
+    updates_per_s: float
+
+
+def cpu_sweep(
+    elements: int,
+    dtype: DType = "uint64",
+    threads: Optional[Sequence[int]] = None,
+    config: Optional[MI300AConfig] = None,
+) -> List[AtomicsSample]:
+    """Isolated CPU throughput across thread counts."""
+    config = config or default_config()
+    return [
+        AtomicsSample(
+            "cpu", dtype, elements, t,
+            cpu_atomic_throughput(config, elements, t, dtype),
+        )
+        for t in (threads if threads is not None else CPU_THREADS)
+    ]
+
+
+def gpu_sweep(
+    elements: int,
+    dtype: DType = "uint64",
+    threads: Optional[Sequence[int]] = None,
+    config: Optional[MI300AConfig] = None,
+) -> List[AtomicsSample]:
+    """Isolated GPU throughput across thread counts."""
+    config = config or default_config()
+    return [
+        AtomicsSample(
+            "gpu", dtype, elements, t,
+            gpu_atomic_throughput(config, elements, t, dtype),
+        )
+        for t in (threads if threads is not None else GPU_THREADS)
+    ]
+
+
+@dataclass(frozen=True)
+class HybridSample:
+    """One cell of a Fig. 5 heatmap."""
+
+    dtype: DType
+    elements: int
+    cpu_threads: int
+    gpu_threads: int
+    result: HybridThroughput
+
+
+def hybrid_grid(
+    elements: int,
+    dtype: DType = "uint64",
+    cpu_threads: Optional[Sequence[int]] = None,
+    gpu_threads: Optional[Sequence[int]] = None,
+    config: Optional[MI300AConfig] = None,
+) -> List[HybridSample]:
+    """Co-running CPU x GPU grid of relative performance (Fig. 5)."""
+    config = config or default_config()
+    cpu_list = list(cpu_threads) if cpu_threads is not None else [1, 3, 6, 12, 24]
+    gpu_list = list(gpu_threads) if gpu_threads is not None else GPU_THREADS
+    out: List[HybridSample] = []
+    for ct in cpu_list:
+        for gt in gpu_list:
+            out.append(
+                HybridSample(
+                    dtype, elements, ct, gt,
+                    hybrid_atomic_throughput(config, elements, ct, gt, dtype),
+                )
+            )
+    return out
+
+
+def run_histogram_kernel(
+    elements: int,
+    updates: int,
+    workers: int = 4,
+    dtype: DType = "uint64",
+    seed: int = 0xA70,
+) -> np.ndarray:
+    """Functionally execute the histogram update loop.
+
+    Splits *updates* across *workers* pseudo-threads, each with its own
+    deterministic RNG stream (the paper's CPU kernel uses per-thread
+    ``std::minstd_rand``; the GPU kernel uses XORWOW).  Returns the final
+    histogram; atomicity in the simulator is trivially exact, so the
+    conservation law ``histogram.sum() == updates`` is the correctness
+    oracle.
+    """
+    if elements <= 0 or updates < 0 or workers <= 0:
+        raise ValueError("elements/updates/workers must be positive")
+    np_dtype = np.uint64 if dtype == "uint64" else np.float64
+    histogram = np.zeros(elements, dtype=np_dtype)
+    base, extra = divmod(updates, workers)
+    for worker in range(workers):
+        n = base + (1 if worker < extra else 0)
+        if n == 0:
+            continue
+        rng = np.random.default_rng(seed + worker)
+        indices = rng.integers(0, elements, size=n)
+        np.add.at(histogram, indices, np_dtype(1))
+    return histogram

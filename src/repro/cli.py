@@ -1,0 +1,377 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage::
+
+    python -m repro list                 # the experiment menu
+    python -m repro fig9                 # regenerate one figure's table
+    python -m repro fig2 --quick         # reduced problem sizes
+    python -m repro apps --app hotspot   # one application comparison
+    python -m repro uvm                  # the UPM-vs-UVM extension
+    python -m repro export --out results # CSV export of the results
+
+Every command prints the same rows the corresponding `benchmarks/`
+module asserts against; the CLI exists for interactive exploration, the
+bench suite for verification.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from .hw.config import GiB, KiB, MiB
+
+
+def _print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
+    print(f"\n=== {title} ===")
+    widths = [max(len(str(h)), 14) for h in header]
+    print("  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+def _rate(value: float, unit: str = "B/s") -> str:
+    for scale, prefix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
+        if value >= scale:
+            return f"{value / scale:.2f} {prefix}{unit}"
+    return f"{value:.2f} {unit}"
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    """Table 1: allocator capability matrix."""
+    from .core.allocators import allocator_table
+
+    rows = []
+    for xnack in (False, True):
+        for r in allocator_table(xnack):
+            rows.append(
+                (r["allocator"], xnack, r["gpu_access"], r["cpu_access"],
+                 r["physical_allocation"])
+            )
+    _print_table(
+        "Table 1: memory allocators on MI300A",
+        ["allocator", "xnack", "gpu_access", "cpu_access", "physical"],
+        rows,
+    )
+
+
+def cmd_fig2(args: argparse.Namespace) -> None:
+    """Fig. 2: memory latency curves."""
+    from .bench import multichase
+
+    sizes = (
+        [1 * KiB, 1 * MiB, 128 * MiB, 512 * MiB]
+        if args.quick
+        else [1 * KiB, 32 * KiB, 1 * MiB, 32 * MiB, 128 * MiB, 256 * MiB,
+              512 * MiB, 1 * GiB, 2 * GiB, 4 * GiB]
+    )
+    allocators = (
+        ["malloc", "hipMalloc"] if args.quick else multichase.ALLOCATORS
+    )
+    samples = multichase.full_sweep(
+        sizes=sizes, allocators=allocators, memory_gib=16
+    )
+    _print_table(
+        "Fig. 2: pointer-chase latency (ns)",
+        ["allocator", "device", "size_KiB", "latency_ns"],
+        [(s.allocator, s.device, s.size_bytes >> 10, f"{s.latency_ns:.1f}")
+         for s in samples],
+    )
+
+
+def cmd_fig3(args: argparse.Namespace) -> None:
+    """Fig. 3: STREAM TRIAD bandwidth."""
+    from .bench import stream
+
+    gpu_allocators = (
+        ["hipMalloc", "malloc"] if args.quick else stream.STREAM_ALLOCATORS
+    )
+    rows = []
+    for allocator in gpu_allocators:
+        r = stream.gpu_triad(allocator, memory_gib=16)
+        rows.append(("gpu", r.allocator, _rate(r.bandwidth_bytes_per_s), "-"))
+    for allocator in ("hipMalloc", "malloc"):
+        r = stream.cpu_triad(allocator, memory_gib=16)
+        rows.append(
+            ("cpu", r.allocator, _rate(r.bandwidth_bytes_per_s), r.best_threads)
+        )
+    _print_table(
+        "Fig. 3: STREAM TRIAD bandwidth",
+        ["device", "allocator", "bandwidth", "best_threads"],
+        rows,
+    )
+
+
+def cmd_memcpy(args: argparse.Namespace) -> None:
+    """Section 4.3: legacy hipMemcpy bandwidth."""
+    from .bench import hipbandwidth
+
+    size = 64 * MiB if args.quick else 256 * MiB
+    rows = hipbandwidth.full_sweep(copy_bytes=size, memory_gib=4)
+    _print_table(
+        "Section 4.3: hipMemcpy bandwidth",
+        ["transfer", "sdma", "bandwidth"],
+        [(r.label, r.sdma_enabled, _rate(r.bandwidth_bytes_per_s))
+         for r in rows],
+    )
+
+
+def cmd_fig4(args: argparse.Namespace) -> None:
+    """Fig. 4: isolated atomics throughput."""
+    from .bench import histogram
+
+    rows = []
+    for dtype in ("uint64", "fp64"):
+        for elements, label in ((1, "1"), (1 << 10, "1K"), (1 << 20, "1M"),
+                                (1 << 30, "1G")):
+            for s in histogram.cpu_sweep(elements, dtype):
+                rows.append(("cpu", dtype, label, s.threads,
+                             _rate(s.updates_per_s, "upd/s")))
+            for s in histogram.gpu_sweep(elements, dtype):
+                rows.append(("gpu", dtype, label, s.threads,
+                             _rate(s.updates_per_s, "upd/s")))
+    _print_table(
+        "Fig. 4: atomics throughput",
+        ["device", "dtype", "array", "threads", "throughput"], rows,
+    )
+
+
+def cmd_fig5(args: argparse.Namespace) -> None:
+    """Fig. 5: co-running CPU+GPU atomics."""
+    from .bench import histogram
+
+    rows = []
+    for elements, label in ((1 << 10, "1K"), (1 << 20, "1M")):
+        for s in histogram.hybrid_grid(elements, "uint64"):
+            rows.append(
+                (label, s.cpu_threads, s.gpu_threads,
+                 f"{s.result.cpu_relative:.2f}",
+                 f"{s.result.gpu_relative:.2f}")
+            )
+    _print_table(
+        "Fig. 5: co-run relative performance (uint64)",
+        ["array", "cpu_threads", "gpu_threads", "cpu_rel", "gpu_rel"], rows,
+    )
+
+
+def cmd_fig6(args: argparse.Namespace) -> None:
+    """Fig. 6: allocation speed."""
+    from .bench import allocspeed
+
+    sizes = [2, 1 * KiB, 1 * MiB, 1 * GiB] if args.quick else None
+    rows = allocspeed.full_cost_sweep(sizes=sizes)
+    _print_table(
+        "Fig. 6: allocation / deallocation time (us)",
+        ["allocator", "size_B", "alloc_us", "free_us"],
+        [(s.allocator, s.size_bytes, f"{s.alloc_ns / 1e3:.3f}",
+          f"{s.free_ns / 1e3:.3f}") for s in rows],
+    )
+
+
+def cmd_fig7(args: argparse.Namespace) -> None:
+    """Fig. 7: page-fault throughput."""
+    from .bench import pagefault
+
+    rows = pagefault.full_throughput_sweep()
+    _print_table(
+        "Fig. 7: page-fault throughput",
+        ["scenario", "pages", "pages_per_s"],
+        [(s.scenario, f"{s.pages:,}", _rate(s.pages_per_s, "pages/s"))
+         for s in rows],
+    )
+
+
+def cmd_fig8(args: argparse.Namespace) -> None:
+    """Fig. 8: single-fault latency distribution."""
+    from .bench import pagefault
+
+    rows = pagefault.latency_distributions()
+    _print_table(
+        "Fig. 8: single-fault latency (us)",
+        ["fault type", "mean", "p50", "p95"],
+        [(s.scenario, f"{s.mean_us:.1f}", f"{s.p50_us:.1f}",
+          f"{s.p95_us:.1f}") for s in rows],
+    )
+
+
+def cmd_fig9(args: argparse.Namespace) -> None:
+    """Fig. 9: GPU TLB misses per allocator."""
+    from .bench import stream
+
+    size = 64 * MiB if args.quick else 256 * MiB
+    rows = stream.gpu_tlb_miss_table(array_bytes=size, memory_gib=16)
+    _print_table(
+        "Fig. 9: GPU TLB misses in TRIAD",
+        ["allocator", "tlb_misses", "bandwidth"],
+        [(r.allocator, f"{r.gpu_tlb_misses:,}",
+          _rate(r.bandwidth_bytes_per_s)) for r in rows],
+    )
+
+
+def cmd_fig10(args: argparse.Namespace) -> None:
+    """Fig. 10: CPU page faults in CPU STREAM."""
+    from .bench import stream
+
+    size = 64 * MiB if args.quick else 610 * MiB
+    configs = [
+        ("malloc / baseline", "malloc", False, "cpu"),
+        ("malloc / xnack", "malloc", True, "cpu"),
+        ("hipMalloc / baseline", "hipMalloc", False, "cpu"),
+        ("hipMalloc / gpu-init", "hipMalloc", False, "gpu"),
+        ("hipHostMalloc / baseline", "hipHostMalloc", False, "cpu"),
+        ("managed / xnack", "hipMallocManaged(xnack=1)", True, "cpu"),
+    ]
+    rows = []
+    for label, allocator, xnack, init in configs:
+        report = stream.cpu_fault_count(
+            allocator, xnack=xnack, init_device=init, array_bytes=size,
+            memory_gib=16,
+        )
+        rows.append((label, f"{report.page_faults:,}"))
+    _print_table(
+        "Fig. 10: CPU page faults in CPU STREAM", ["config", "faults"], rows
+    )
+
+
+def cmd_apps(args: argparse.Namespace) -> None:
+    """Fig. 11: application comparisons."""
+    from .apps import ALL_APPS
+
+    names = [args.app] if args.app else sorted(ALL_APPS)
+    rows = []
+    for name in names:
+        if name not in ALL_APPS:
+            raise SystemExit(
+                f"unknown app {name!r}; choose from {sorted(ALL_APPS)}"
+            )
+        app = ALL_APPS[name]()
+        params = None
+        if args.quick:
+            params = {
+                "backprop": {"input_units": 1 << 17},
+                "dwt2d": {"dim": 2048},
+                "heartwall": {"frame_dim": 512, "frames": 10},
+                "hotspot": {"grid": 512, "iterations": 20},
+                "nn": {"records": 1 << 20},
+                "srad_v1": {"dim": 512, "iterations": 10},
+            }[name]
+        for variant, comparison in app.compare_variants(params=params).items():
+            rows.append(
+                (name, variant, f"{comparison.total_time_ratio:.2f}",
+                 f"{comparison.compute_time_ratio:.2f}",
+                 f"{comparison.memory_ratio:.2f}")
+            )
+    _print_table(
+        "Fig. 11: unified / explicit ratios",
+        ["app", "variant", "total", "compute", "memory"], rows,
+    )
+
+
+def cmd_export(args: argparse.Namespace) -> None:
+    """Export experiment results as CSV (to --out, default ./results)."""
+    from .report import export_all
+
+    out_dir = args.out or "results"
+    paths = export_all(out_dir, quick=args.quick)
+    print(f"wrote {len(paths)} CSV files to {out_dir}/:")
+    for path in paths:
+        print(f"  {path}")
+
+
+def cmd_uvm(args: argparse.Namespace) -> None:
+    """Extension: UPM vs UVM vs explicit."""
+    from .uvm import three_way_comparison
+
+    size = 256 * MiB if args.quick else 1 * GiB
+    results = three_way_comparison(working_set_bytes=size, iterations=10)
+    baseline = results["explicit/discrete"]
+    _print_table(
+        "UPM vs UVM vs explicit",
+        ["model", "time_ms", "vs explicit", "moved_MiB"],
+        [(name, f"{r.time_ms:.1f}", f"{r.relative_to(baseline):.2f}x",
+          r.moved_bytes >> 20) for name, r in results.items()],
+    )
+
+
+COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
+    "table1": cmd_table1,
+    "fig2": cmd_fig2,
+    "fig3": cmd_fig3,
+    "memcpy": cmd_memcpy,
+    "fig4": cmd_fig4,
+    "fig5": cmd_fig5,
+    "fig6": cmd_fig6,
+    "fig7": cmd_fig7,
+    "fig8": cmd_fig8,
+    "fig9": cmd_fig9,
+    "fig10": cmd_fig10,
+    "apps": cmd_apps,
+    "fig11": cmd_apps,
+    "uvm": cmd_uvm,
+    "export": cmd_export,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate experiments from the MI300A UPM paper "
+        "on the simulator.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment to regenerate, or 'list' for the menu",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced problem sizes for a fast look",
+    )
+    parser.add_argument(
+        "--app", default=None,
+        help="(apps/fig11 only) run a single application",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="(export only) output directory for CSV files",
+    )
+    return parser
+
+
+def list_experiments() -> List[str]:
+    """The menu rows: command name + docstring summary."""
+    rows = []
+    for name, fn in COMMANDS.items():
+        if name == "fig11":
+            continue  # alias of apps
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        rows.append(f"  {name:10s} {doc}")
+    return rows
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.experiment == "list":
+        print("Available experiments:")
+        for row in list_experiments():
+            print(row)
+        return 0
+    command = COMMANDS.get(args.experiment)
+    if command is None:
+        print(f"unknown experiment {args.experiment!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    command(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

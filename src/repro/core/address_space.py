@@ -1,0 +1,232 @@
+"""Process virtual address space: VMAs and virtual allocation.
+
+A :class:`VMA` is a virtually contiguous range of pages with per-page
+backing state.  Because the MI300A keeps two page tables (system and GPU,
+paper Section 2.3), each page tracks *independently* whether it is present
+in the CPU table and in the GPU table, over a shared physical frame — this
+is the representation that lets hipMalloc memory be GPU-mapped up-front
+yet CPU-faulted lazily, and malloc memory the reverse.
+
+Per-page state is held in numpy arrays so multi-GiB buffers (the paper's
+benchmarks reach 40 GiB) remain cheap to represent.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..hw.config import PAGE_SIZE
+from .page import NO_FRAME, PTE, PTE_GPU_MAPPED, PTE_PINNED, PTE_UNCACHED, PTE_VALID
+
+#: Where the simulated process's mmap region starts.
+MMAP_BASE = 0x7000_0000_0000
+
+#: GPU-access policy of a VMA (decided by its allocator, paper Table 1).
+GPU_ACCESS_ALWAYS = "always"  # mapped or mappable regardless of XNACK
+GPU_ACCESS_XNACK = "xnack"  # reachable only via XNACK fault replay
+GPU_ACCESS_NEVER = "never"  # static host memory: invisible to the GPU linker
+
+
+class VMA:
+    """One virtual memory area with per-page backing state."""
+
+    def __init__(
+        self,
+        start: int,
+        npages: int,
+        name: str = "",
+        pinned: bool = False,
+        uncached: bool = False,
+    ) -> None:
+        if start % PAGE_SIZE:
+            raise ValueError(f"VMA start {start:#x} not page aligned")
+        if npages <= 0:
+            raise ValueError(f"VMA needs at least one page, got {npages}")
+        self.start = start
+        self.npages = npages
+        self.name = name
+        self.pinned = pinned
+        self.uncached = uncached
+        #: One of the GPU_ACCESS_* policies (set by the owning allocator).
+        self.gpu_access = GPU_ACCESS_ALWAYS
+        #: Whether the GPU has ever touched this VMA (affects the CPU
+        #: fault-around granularity, paper Fig. 10's "GPU init" bars).
+        self.gpu_touched = False
+        #: Whether physical backing is deferred to first touch.
+        self.on_demand = False
+        #: Physical frame per page; NO_FRAME when no physical backing yet.
+        self.frames = np.full(npages, NO_FRAME, dtype=np.int64)
+        #: Present in the system (CPU) page table.
+        self.sys_valid = np.zeros(npages, dtype=bool)
+        #: Present (mirrored) in the GPU page table.
+        self.gpu_valid = np.zeros(npages, dtype=bool)
+        #: GPU PTE fragment exponent (meaningful where gpu_valid).
+        self.fragment = np.zeros(npages, dtype=np.int8)
+
+    @property
+    def end(self) -> int:
+        """One past the last mapped byte."""
+        return self.start + self.npages * PAGE_SIZE
+
+    @property
+    def size_bytes(self) -> int:
+        """Size of the virtual range in bytes."""
+        return self.npages * PAGE_SIZE
+
+    @property
+    def base_vpn(self) -> int:
+        """Virtual page number of the first page."""
+        return self.start // PAGE_SIZE
+
+    def contains(self, address: int) -> bool:
+        """True when *address* falls inside this VMA."""
+        return self.start <= address < self.end
+
+    def page_index(self, address: int) -> int:
+        """Index (within this VMA) of the page containing *address*."""
+        if not self.contains(address):
+            raise ValueError(
+                f"address {address:#x} outside VMA [{self.start:#x}, {self.end:#x})"
+            )
+        return (address - self.start) // PAGE_SIZE
+
+    def page_range(self, address: int, size: int) -> Tuple[int, int]:
+        """(first page index, page count) covering ``[address, address+size)``."""
+        if size <= 0:
+            raise ValueError(f"range size must be positive, got {size}")
+        if not self.contains(address) or address + size > self.end:
+            raise ValueError("byte range escapes VMA")
+        first = self.page_index(address)
+        last = self.page_index(address + size - 1)
+        return first, last - first + 1
+
+    def resident_pages(self) -> int:
+        """Number of pages with physical backing."""
+        return int((self.frames != NO_FRAME).sum())
+
+    def resident_bytes(self) -> int:
+        """Bytes of physical memory backing this VMA."""
+        return self.resident_pages() * PAGE_SIZE
+
+    def resident_frames(self) -> np.ndarray:
+        """Physical frames currently backing this VMA."""
+        return self.frames[self.frames != NO_FRAME]
+
+    def pte(self, page_index: int, table: str = "system") -> PTE:
+        """Scalar PTE view of one page in the chosen table.
+
+        *table* is ``"system"`` or ``"gpu"``.  An absent entry is returned
+        as an invalid PTE (frame NO_FRAME, no flags).
+        """
+        if table not in ("system", "gpu"):
+            raise ValueError(f"unknown page table {table!r}")
+        present = (
+            self.sys_valid[page_index]
+            if table == "system"
+            else self.gpu_valid[page_index]
+        )
+        if not present:
+            return PTE()
+        flags = PTE_VALID
+        if self.pinned:
+            flags |= PTE_PINNED
+        if self.uncached:
+            flags |= PTE_UNCACHED
+        if self.gpu_valid[page_index]:
+            flags |= PTE_GPU_MAPPED
+        fragment = int(self.fragment[page_index]) if table == "gpu" else 0
+        return PTE(frame=int(self.frames[page_index]), flags=flags, fragment=fragment)
+
+    def __repr__(self) -> str:
+        return (
+            f"VMA({self.name or 'anon'}, {self.start:#x}+{self.size_bytes}, "
+            f"resident={self.resident_pages()}/{self.npages})"
+        )
+
+
+class AddressSpace:
+    """Per-process virtual address space (a sorted set of VMAs)."""
+
+    def __init__(self) -> None:
+        self._vmas: List[VMA] = []
+        self._starts: List[int] = []
+        self._next_va = MMAP_BASE
+
+    def mmap(
+        self,
+        size: int,
+        name: str = "",
+        pinned: bool = False,
+        uncached: bool = False,
+        alignment: int = PAGE_SIZE,
+    ) -> VMA:
+        """Reserve a fresh virtual range of at least *size* bytes.
+
+        The range is rounded up to whole pages and aligned to *alignment*
+        (power of two, >= page size).  Mirrors anonymous ``mmap``: no
+        physical memory is allocated here.
+        """
+        if size <= 0:
+            raise ValueError(f"mmap size must be positive, got {size}")
+        if alignment < PAGE_SIZE or alignment & (alignment - 1):
+            raise ValueError(f"bad alignment {alignment}")
+        npages = -(-size // PAGE_SIZE)
+        start = (self._next_va + alignment - 1) & ~(alignment - 1)
+        self._next_va = start + npages * PAGE_SIZE
+        vma = VMA(start, npages, name=name, pinned=pinned, uncached=uncached)
+        idx = bisect.bisect_left(self._starts, start)
+        self._vmas.insert(idx, vma)
+        self._starts.insert(idx, start)
+        return vma
+
+    def munmap(self, vma: VMA) -> None:
+        """Remove *vma* from the address space.
+
+        The caller is responsible for returning its physical frames to the
+        frame allocator first.
+        """
+        idx = bisect.bisect_left(self._starts, vma.start)
+        if idx >= len(self._vmas) or self._vmas[idx] is not vma:
+            raise ValueError("VMA not part of this address space")
+        del self._vmas[idx]
+        del self._starts[idx]
+
+    def find(self, address: int) -> Optional[VMA]:
+        """The VMA containing *address*, or None."""
+        idx = bisect.bisect_right(self._starts, address) - 1
+        if idx < 0:
+            return None
+        vma = self._vmas[idx]
+        return vma if vma.contains(address) else None
+
+    def require(self, address: int) -> VMA:
+        """Like :meth:`find` but raising on unmapped addresses (a segfault)."""
+        vma = self.find(address)
+        if vma is None:
+            raise SegmentationFault(address)
+        return vma
+
+    def __iter__(self) -> Iterator[VMA]:
+        return iter(self._vmas)
+
+    def __len__(self) -> int:
+        return len(self._vmas)
+
+    def total_resident_bytes(self) -> int:
+        """Physical bytes backing all VMAs (the process's true footprint)."""
+        return sum(vma.resident_bytes() for vma in self._vmas)
+
+    def total_virtual_bytes(self) -> int:
+        """Virtual bytes reserved by all VMAs."""
+        return sum(vma.size_bytes for vma in self._vmas)
+
+
+class SegmentationFault(Exception):
+    """Access to an address not covered by any VMA."""
+
+    def __init__(self, address: int) -> None:
+        super().__init__(f"segmentation fault at {address:#x}")
+        self.address = address

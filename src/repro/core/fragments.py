@@ -1,0 +1,173 @@
+"""Opportunistic GPU page-table fragment computation.
+
+A *fragment* is a virtually and physically contiguous, naturally aligned,
+power-of-two run of pages with identical flags.  The GPU L1 TLB can hold a
+single entry for a whole fragment, greatly increasing its reach (paper
+Section 3.2).  The amdgpu driver sets the 5-bit PTE fragment field
+opportunistically by scanning for maximal contiguous page ranges when it
+maps pages.
+
+This module reproduces that scan.  Given the physical frames backing a
+virtually contiguous page range, it:
+
+1. finds maximal runs where frames are physically contiguous (constant
+   ``frame - vpn`` delta),
+2. decomposes each run into maximal power-of-two blocks aligned in both
+   the virtual and the physical address space (which coincide whenever the
+   run's delta is itself suitably aligned), and
+3. assigns each page the exponent of its covering block.
+
+Up-front allocators produce long aligned runs and therefore large
+fragments; on-demand first-touch order produces mostly single-page runs
+and fragment exponent 0 — the mechanism behind Fig. 9's TLB miss gap.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hw.config import MAX_FRAGMENT_EXPONENT
+
+
+def _trailing_zeros(values: np.ndarray) -> np.ndarray:
+    """Number of trailing zero bits per element (0 input -> 63)."""
+    v = values.astype(np.int64)
+    out = np.zeros(v.shape, dtype=np.int64)
+    zero = v == 0
+    v = np.where(zero, 1, v)
+    isolated = v & -v  # lowest set bit
+    # log2 of a power of two via float is exact for < 2**53.
+    out = np.log2(isolated.astype(np.float64)).astype(np.int64)
+    out[zero] = 63
+    return out
+
+
+def contiguous_runs(frames: np.ndarray) -> list[tuple[int, int]]:
+    """Maximal physically contiguous runs over a virtually contiguous range.
+
+    *frames* holds the physical frame of each consecutive virtual page.
+    Returns ``(start_index, length)`` pairs covering the whole range.
+    """
+    frames = np.asarray(frames, dtype=np.int64)
+    n = len(frames)
+    if n == 0:
+        return []
+    breaks = np.flatnonzero(np.diff(frames) != 1) + 1
+    starts = np.concatenate(([0], breaks))
+    ends = np.concatenate((breaks, [n]))
+    return [(int(s), int(e - s)) for s, e in zip(starts, ends)]
+
+
+def compute_fragments(
+    frames: np.ndarray,
+    base_vpn: int,
+    max_exponent: int = MAX_FRAGMENT_EXPONENT,
+) -> np.ndarray:
+    """Per-page fragment exponents for a mapped virtual range.
+
+    Args:
+        frames: physical frame number of each consecutive virtual page,
+            starting at virtual page number *base_vpn*.
+        base_vpn: virtual page number of ``frames[0]`` (fragment blocks
+            must be aligned in the virtual address space).
+        max_exponent: cap on the exponent (5-bit field -> 31).
+
+    Returns:
+        int8 array of the same length: entry i covers ``2**exp[i]`` pages.
+    """
+    frames = np.asarray(frames, dtype=np.int64)
+    n = len(frames)
+    out = np.zeros(n, dtype=np.int8)
+    if n == 0:
+        return out
+
+    # Vectorised fast path for the dominant scattered case: pages whose
+    # neighbours are not physically adjacent are single-page fragments
+    # (exponent 0) and need no per-run work.
+    prev_adjacent = np.zeros(n, dtype=bool)
+    next_adjacent = np.zeros(n, dtype=bool)
+    if n > 1:
+        adj = np.diff(frames) == 1
+        prev_adjacent[1:] = adj
+        next_adjacent[:-1] = adj
+    isolated = ~(prev_adjacent | next_adjacent)
+    # out already 0 for isolated pages.
+
+    if isolated.all():
+        return out
+
+    # Enumerate only multi-page runs (the Python loop below is O(runs)).
+    breaks = np.flatnonzero(np.diff(frames) != 1) + 1
+    starts = np.concatenate(([0], breaks))
+    ends = np.concatenate((breaks, [n]))
+    lengths = ends - starts
+    multi = lengths > 1
+    for start, length in zip(starts[multi], lengths[multi]):
+        _assign_run(out, frames, base_vpn, int(start), int(length), max_exponent)
+    return out
+
+
+def _assign_run(
+    out: np.ndarray,
+    frames: np.ndarray,
+    base_vpn: int,
+    start: int,
+    length: int,
+    max_exponent: int,
+) -> None:
+    """Greedy aligned power-of-two decomposition of one contiguous run.
+
+    Mirrors amdgpu's update loop: repeatedly emit the largest block that
+    (a) starts at the current position, (b) is aligned at both the virtual
+    and physical page number, and (c) fits in the remainder of the run.
+    """
+    pos = start
+    end = start + length
+    while pos < end:
+        vpn = base_vpn + pos
+        pfn = int(frames[pos])
+        align = min(
+            _scalar_trailing_zeros(vpn),
+            _scalar_trailing_zeros(pfn),
+        )
+        remaining = end - pos
+        size_exp = min(align, remaining.bit_length() - 1, max_exponent)
+        block = 1 << size_exp
+        out[pos : pos + block] = size_exp
+        pos += block
+
+
+def _scalar_trailing_zeros(value: int) -> int:
+    if value == 0:
+        return 63
+    return (value & -value).bit_length() - 1
+
+
+def fragment_histogram(exponents: np.ndarray) -> dict[int, int]:
+    """Count of pages per fragment exponent (for profiling/diagnostics)."""
+    exponents = np.asarray(exponents)
+    values, counts = np.unique(exponents, return_counts=True)
+    return {int(v): int(c) for v, c in zip(values, counts)}
+
+
+def distinct_fragments(exponents: np.ndarray) -> int:
+    """Number of distinct fragment entries covering the range.
+
+    Each block of ``2**exp`` pages sharing one exponent is a single TLB
+    entry, so the count of distinct fragments is what a streaming kernel's
+    TLB miss counter converges to (one miss per fragment per pass when the
+    stream exceeds TLB reach).
+    """
+    exponents = np.asarray(exponents, dtype=np.int64)
+    if len(exponents) == 0:
+        return 0
+    weights = 1.0 / np.power(2.0, exponents)
+    return int(round(float(weights.sum())))
+
+
+def average_fragment_bytes(exponents: np.ndarray, page_size: int = 4096) -> float:
+    """Average fragment size in bytes over the mapped range."""
+    count = distinct_fragments(exponents)
+    if count == 0:
+        return 0.0
+    return len(exponents) * page_size / count

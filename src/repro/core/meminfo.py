@@ -1,0 +1,137 @@
+"""Memory-usage reporting interfaces and their blind spots.
+
+No single interface gives a complete picture of memory allocations on
+MI300A (paper Section 3.2):
+
+* ``/proc/meminfo`` and libnuma report *physical* usage at the APU level —
+  up-front allocations immediately, on-demand ones only after first touch.
+* ``hipMemGetInfo`` and ``rocm-smi`` report free memory "on the device"
+  but only capture hipMalloc allocations.
+* ``VmRSS`` (``/proc/pid/status``) reports process-resident memory but
+  does *not* capture hipMalloc allocations.
+
+The paper profiles peak usage by sampling libnuma; applications that size
+buffers from ``hipMemGetInfo`` must be ported to a reliable counter
+(Section 3.3, "Memory Usage Consideration").  This module reproduces each
+interface over the simulated system, plus the libnuma-based peak sampler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from .allocators import AllocatorKind, MemoryManager
+from .physical import PhysicalMemory
+
+#: Allocator kinds whose usage hipMemGetInfo / rocm-smi can see.
+_HIP_DEVICE_KINDS = (AllocatorKind.HIP_MALLOC, AllocatorKind.STATIC_DEVICE)
+
+
+def proc_meminfo(physical: PhysicalMemory) -> Dict[str, int]:
+    """System-level ``/proc/meminfo`` view (bytes, not kB, for clarity).
+
+    Reflects true physical allocation: up-front allocators appear
+    immediately, on-demand allocators only after first touch.
+    """
+    total = physical.total_frames * 4096
+    free = physical.free_bytes
+    return {
+        "MemTotal": total,
+        "MemFree": free,
+        "MemAvailable": free,
+        "MemUsed": total - free,
+    }
+
+
+def libnuma_free(physical: PhysicalMemory) -> Tuple[int, int]:
+    """libnuma's (free, total) for the APU's single NUMA node.
+
+    Same visibility as meminfo; this is the interface the paper samples
+    for peak memory usage because it sees *all* allocation types.
+    """
+    return physical.free_bytes, physical.total_frames * 4096
+
+
+def hip_mem_get_info(manager: MemoryManager, physical: PhysicalMemory) -> Tuple[int, int]:
+    """``hipMemGetInfo``'s (free, total) — hipMalloc-only visibility.
+
+    The HIP interface reports free memory "on the device" but only
+    captures allocations made through hipMalloc, so buffers from malloc,
+    hipHostMalloc, or hipMallocManaged are invisible to it.  Sizing
+    datasets from this counter is therefore unreliable on UPM.
+    """
+    total = physical.total_frames * 4096
+    hip_used = sum(
+        a.vma.resident_bytes()
+        for a in manager.allocations
+        if a.kind in _HIP_DEVICE_KINDS
+    )
+    return total - hip_used, total
+
+
+def rocm_smi_used_bytes(manager: MemoryManager) -> int:
+    """``rocm-smi``'s used-VRAM figure — also hipMalloc-only."""
+    return sum(
+        a.vma.resident_bytes()
+        for a in manager.allocations
+        if a.kind in _HIP_DEVICE_KINDS
+    )
+
+
+def vm_rss(manager: MemoryManager) -> int:
+    """Process ``VmRSS`` — resident set excluding hipMalloc allocations.
+
+    hipMalloc memory is owned by the driver, not mapped as ordinary
+    process pages, so ``top``-style accounting misses it (Section 3.2).
+    """
+    return sum(
+        a.vma.resident_bytes()
+        for a in manager.allocations
+        if a.kind not in _HIP_DEVICE_KINDS
+    )
+
+
+@dataclass
+class UsageSnapshot:
+    """One sample of every interface, for side-by-side comparison."""
+
+    meminfo_used: int
+    libnuma_used: int
+    hip_free: int
+    rocm_smi_used: int
+    vm_rss: int
+
+
+def snapshot(manager: MemoryManager, physical: PhysicalMemory) -> UsageSnapshot:
+    """Sample all five interfaces at once."""
+    free, total = libnuma_free(physical)
+    hip_free, _ = hip_mem_get_info(manager, physical)
+    return UsageSnapshot(
+        meminfo_used=proc_meminfo(physical)["MemUsed"],
+        libnuma_used=total - free,
+        hip_free=hip_free,
+        rocm_smi_used=rocm_smi_used_bytes(manager),
+        vm_rss=vm_rss(manager),
+    )
+
+
+class PeakUsageSampler:
+    """Peak physical memory tracker, libnuma-style (the paper's method).
+
+    Call :meth:`sample` at interesting points (the simulated runtime calls
+    it after every allocation, fault burst, and kernel); :attr:`peak_bytes`
+    is the high-water mark relative to the baseline captured at creation.
+    """
+
+    def __init__(self, physical: PhysicalMemory) -> None:
+        self._physical = physical
+        self._baseline = physical.used_bytes
+        self.peak_bytes = 0
+
+    def sample(self) -> int:
+        """Record the current usage; returns usage relative to baseline."""
+        current = self._physical.used_bytes - self._baseline
+        if current > self.peak_bytes:
+            self.peak_bytes = current
+        return current

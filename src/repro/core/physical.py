@@ -1,0 +1,267 @@
+"""Physical frame allocator for the unified memory pool.
+
+One MI300A APU exposes a single 128 GiB physical memory shared by the CPU
+and the GPU.  This module manages that pool at 4 KiB frame granularity and
+models the two behaviours the paper's system-software study hinges on:
+
+* **Up-front allocations** (hipMalloc et al.) obtain *contiguous, aligned
+  chunks*, which later let the amdgpu driver encode large fragments in GPU
+  PTEs (paper Section 5.3) and interleave evenly across memory channels
+  (Section 5.4).
+
+* **On-demand allocations** (malloc first-touch faults) draw *scattered
+  single frames* from a steady-state fragmented free list whose available
+  frames are biased across channels.  The bias is what degrades Infinity
+  Cache slice utilisation for malloc'd buffers (Section 5.4), and the lack
+  of contiguity is what produces small GPU fragments and ~7-16x more GPU
+  TLB misses (Section 5.3, Fig. 9).
+
+The allocator is deterministic given its seed, so experiments reproduce
+bit-identically.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..hw.config import MI300AConfig, PAGE_SIZE
+
+
+class OutOfMemoryError(MemoryError):
+    """Raised when the physical pool cannot satisfy a request."""
+
+
+class PhysicalMemory:
+    """Frame allocator over the APU's unified physical pool."""
+
+    def __init__(self, config: MI300AConfig, seed: int = 0x1300A) -> None:
+        self._config = config
+        self._total_frames = config.total_pages
+        # True = frame is free.
+        self._free = np.ones(self._total_frames, dtype=bool)
+        self._free_count = self._total_frames
+        self._rng = np.random.default_rng(seed)
+        # Steady-state free-list channel bias: scattered allocations draw
+        # frames from channels according to these weights.  The weights are
+        # fixed per boot (per instance), mirroring how a long-running
+        # system's buddy free list ends up unevenly distributed.
+        channels = config.hbm.channels
+        skew = config.policy.free_list_channel_skew
+        if skew > 0:
+            raw = np.exp(self._rng.normal(0.0, 4.0 * skew, size=channels))
+        else:
+            raw = np.ones(channels)
+        self._channel_weights = raw / raw.sum()
+        # With one page per interleave unit, the frames of channel
+        # (stack s, lane l) form the residue class  s + stacks*l  mod
+        # (stacks * lanes); precompute residue per channel index.
+        geo = config.hbm
+        stacks = np.arange(channels) // geo.channels_per_stack
+        lanes = np.arange(channels) % geo.channels_per_stack
+        self._channel_residue = stacks + geo.stacks * lanes
+        self._residue_modulus = geo.stacks * geo.channels_per_stack
+
+    @property
+    def total_frames(self) -> int:
+        """Number of 4 KiB frames in the pool."""
+        return self._total_frames
+
+    @property
+    def free_frames(self) -> int:
+        """Number of currently free frames."""
+        return self._free_count
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes of physical memory currently allocated."""
+        return (self._total_frames - self._free_count) * PAGE_SIZE
+
+    @property
+    def free_bytes(self) -> int:
+        """Bytes of physical memory currently free."""
+        return self._free_count * PAGE_SIZE
+
+    def channel_weights(self) -> np.ndarray:
+        """The free-list channel bias weights (for inspection/ablation)."""
+        return self._channel_weights.copy()
+
+    # ------------------------------------------------------------------
+    # Contiguous (up-front) allocation
+    # ------------------------------------------------------------------
+
+    def alloc_chunks(self, npages: int, chunk_pages: int) -> np.ndarray:
+        """Allocate *npages* frames as aligned contiguous chunks.
+
+        Frames are returned in allocation order: whole chunks of
+        *chunk_pages* contiguous frames, each aligned to *chunk_pages*, with
+        a final partial chunk if *npages* is not a multiple.  This is the
+        up-front allocator path (hipMalloc and friends): the driver can
+        later encode each chunk as a single large fragment.
+        """
+        if npages <= 0:
+            raise ValueError(f"npages must be positive, got {npages}")
+        if chunk_pages <= 0 or chunk_pages & (chunk_pages - 1):
+            raise ValueError(f"chunk_pages must be a power of two, got {chunk_pages}")
+        if npages > self._free_count:
+            raise OutOfMemoryError(
+                f"requested {npages} frames, only {self._free_count} free"
+            )
+        full_chunks, tail = divmod(npages, chunk_pages)
+        starts = self._find_aligned_runs(
+            full_chunks + (1 if tail else 0), chunk_pages
+        )
+        frames = np.concatenate(
+            [np.arange(s, s + chunk_pages, dtype=np.int64) for s in starts]
+        )
+        frames = frames[:npages]
+        self._claim(frames)
+        return frames
+
+    def _find_aligned_runs(self, count: int, chunk_pages: int) -> np.ndarray:
+        """Find *count* free, aligned runs of *chunk_pages* frames each."""
+        if count == 0:
+            return np.empty(0, dtype=np.int64)
+        # View the bitmap as aligned blocks and find fully-free blocks.
+        usable = (self._total_frames // chunk_pages) * chunk_pages
+        blocks = self._free[:usable].reshape(-1, chunk_pages)
+        candidates = np.flatnonzero(blocks.all(axis=1))
+        if len(candidates) < count:
+            raise OutOfMemoryError(
+                f"cannot find {count} contiguous runs of {chunk_pages} pages "
+                f"(only {len(candidates)} available)"
+            )
+        # Leave a gap between selected blocks when the pool allows it:
+        # separately obtained chunks are not physically adjacent on a
+        # steady-state system, so chunks must not merge into accidental
+        # mega-fragments that a real fragmented free list would not give.
+        # The stride is odd (3) so the selected blocks still sweep every
+        # memory-channel residue class of the power-of-two interleave
+        # (an even stride would alias onto a subset of the channels).
+        if len(candidates) >= 3 * count:
+            candidates = candidates[::3]
+        return candidates[:count].astype(np.int64) * chunk_pages
+
+    # ------------------------------------------------------------------
+    # Scattered (on-demand) allocation
+    # ------------------------------------------------------------------
+
+    def alloc_scattered(
+        self, npages: int, pair_fraction: Optional[float] = None
+    ) -> np.ndarray:
+        """Allocate *npages* frames one page at a time, with free-list bias.
+
+        This is the on-demand fault path for CPU first touch: frames are
+        drawn from channels according to the biased free-list weights, and
+        a configurable fraction of draws land an adjacent free pair
+        (modelling occasional buddy-allocator luck).  The result is low
+        physical contiguity and an uneven channel histogram.
+        """
+        if npages <= 0:
+            raise ValueError(f"npages must be positive, got {npages}")
+        if npages > self._free_count:
+            raise OutOfMemoryError(
+                f"requested {npages} frames, only {self._free_count} free"
+            )
+        if pair_fraction is None:
+            pair_fraction = self._config.policy.on_demand_pair_fraction
+
+        allocated: list[np.ndarray] = []
+        remaining = npages
+        # Some draws produce adjacent pairs: allocate those first in pairs.
+        pair_pages = int(npages * pair_fraction) & ~1
+        if pair_pages:
+            pairs = self._draw_scattered(pair_pages // 2, run=2)
+            allocated.append(pairs)
+            remaining -= len(pairs)
+        if remaining:
+            singles = self._draw_scattered(remaining, run=1)
+            allocated.append(singles)
+        frames = np.concatenate(allocated)[:npages]
+        return frames
+
+    def _draw_scattered(self, ndraws: int, run: int) -> np.ndarray:
+        """Draw *ndraws* free runs of length *run* from biased channels.
+
+        Returns the flattened frame numbers (``ndraws * run`` entries) in
+        draw order.  Falls back to an exhaustive sweep if rejection
+        sampling stalls (nearly-full pool).
+        """
+        mod = self._residue_modulus
+        max_k = self._total_frames // mod
+        total = ndraws * run
+        out = np.empty(total, dtype=np.int64)
+        filled = 0
+        attempts = 0
+        rng = self._rng
+        while filled < total and attempts < 64:
+            need_runs = (total - filled + run - 1) // run
+            # Oversample to absorb rejections.
+            n = max(int(need_runs * 1.6) + 16, 32)
+            channels = rng.choice(
+                len(self._channel_weights), size=n, p=self._channel_weights
+            )
+            ks = rng.integers(0, max(max_k - 1, 1), size=n)
+            starts = self._channel_residue[channels] + ks * mod
+            if run > 1:
+                # Buddy order-(run) blocks are naturally aligned; keep the
+                # alignment so the driver can encode them as fragments.
+                starts &= ~np.int64(run - 1)
+            starts = starts[starts + run <= self._total_frames]
+            ok = self._free[starts]
+            for extra in range(1, run):
+                ok &= self._free[starts + extra]
+            starts = np.unique(starts[ok])
+            if run > 1 and starts.size > 1:
+                # Drop runs overlapping an earlier selected run.
+                keep = np.empty(starts.size, dtype=bool)
+                keep[0] = True
+                keep[1:] = np.diff(starts) >= run
+                starts = starts[keep]
+            starts = starts[:need_runs]
+            if starts.size:
+                if run == 1:
+                    frames = starts.astype(np.int64)
+                else:
+                    frames = (
+                        starts[:, None] + np.arange(run, dtype=np.int64)
+                    ).ravel()
+                self._claim(frames)
+                out[filled : filled + len(frames)] = frames
+                filled += len(frames)
+            attempts += 1
+        if filled < total:
+            # Pool too full for sampling: sweep for any free frames.
+            free_idx = np.flatnonzero(self._free)[: total - filled]
+            if len(free_idx) < total - filled:
+                raise OutOfMemoryError("physical pool exhausted")
+            self._claim(free_idx)
+            out[filled:] = free_idx
+        return out
+
+    # ------------------------------------------------------------------
+    # Free / bookkeeping
+    # ------------------------------------------------------------------
+
+    def free(self, frames: np.ndarray) -> None:
+        """Return *frames* to the pool.  Double-free raises ``ValueError``."""
+        frames = np.asarray(frames, dtype=np.int64)
+        if frames.size == 0:
+            return
+        if frames.min() < 0 or frames.max() >= self._total_frames:
+            raise ValueError("frame number out of range")
+        if self._free[frames].any():
+            raise ValueError("double free of physical frame")
+        self._free[frames] = True
+        self._free_count += int(frames.size)
+
+    def _claim(self, frames: np.ndarray) -> None:
+        if not self._free[frames].all():
+            raise OutOfMemoryError("attempted to claim a non-free frame")
+        self._free[frames] = False
+        self._free_count -= int(frames.size)
+
+    def is_free(self, frame: int) -> bool:
+        """True when *frame* is currently unallocated."""
+        return bool(self._free[frame])

@@ -1,0 +1,127 @@
+"""HBM3 stack and channel model.
+
+The MI300A has eight HBM3 stacks of 16 GiB each; every stack exposes 16
+memory channels, for 128 channels total.  Physical pages are interleaved
+among the stacks at 4 KiB granularity (paper Section 5.4), so the memory
+channel serving a physical page is a pure function of its frame number.
+
+This module provides that mapping plus per-channel traffic accounting used
+by the Infinity Cache balance model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from .config import HBMGeometry, PAGE_SIZE
+
+
+class HBMSubsystem:
+    """Maps physical frames to stacks/channels and tracks traffic."""
+
+    def __init__(self, geometry: HBMGeometry) -> None:
+        if geometry.interleave_bytes % PAGE_SIZE != 0:
+            raise ValueError("interleave granularity must be a page multiple")
+        self._geometry = geometry
+        self._channel_bytes = np.zeros(geometry.channels, dtype=np.int64)
+
+    @property
+    def geometry(self) -> HBMGeometry:
+        """The HBM organisation this subsystem models."""
+        return self._geometry
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Total HBM capacity in bytes."""
+        return self._geometry.capacity_bytes
+
+    def stack_of_frame(self, frame: int) -> int:
+        """Stack index serving physical frame number *frame*.
+
+        Frames are interleaved round-robin across stacks at the interleave
+        granularity (one 4 KiB page per stack by default).
+        """
+        pages_per_unit = self._geometry.interleave_bytes // PAGE_SIZE
+        return (frame // pages_per_unit) % self._geometry.stacks
+
+    def channel_of_frame(self, frame: int) -> int:
+        """Memory channel index serving physical frame number *frame*.
+
+        Within a stack, consecutive interleave units rotate across that
+        stack's channels, so a long contiguous physical range touches every
+        channel evenly — this is why up-front contiguous allocations achieve
+        balanced Infinity Cache slice utilisation (paper Section 5.4).
+        """
+        geo = self._geometry
+        pages_per_unit = geo.interleave_bytes // PAGE_SIZE
+        unit = frame // pages_per_unit
+        stack = unit % geo.stacks
+        lane = (unit // geo.stacks) % geo.channels_per_stack
+        return stack * geo.channels_per_stack + lane
+
+    def channels_of_frames(self, frames: Sequence[int]) -> np.ndarray:
+        """Vectorised :meth:`channel_of_frame` over an array of frames."""
+        geo = self._geometry
+        arr = np.asarray(frames, dtype=np.int64)
+        pages_per_unit = geo.interleave_bytes // PAGE_SIZE
+        unit = arr // pages_per_unit
+        stack = unit % geo.stacks
+        lane = (unit // geo.stacks) % geo.channels_per_stack
+        return stack * geo.channels_per_stack + lane
+
+    def channel_histogram(self, frames: Sequence[int]) -> np.ndarray:
+        """Bytes-per-channel histogram for a set of resident frames."""
+        channels = self.channels_of_frames(frames)
+        counts = np.bincount(channels, minlength=self._geometry.channels)
+        return counts * PAGE_SIZE
+
+    def record_traffic(self, frames: Iterable[int], bytes_per_frame: int) -> None:
+        """Account *bytes_per_frame* of traffic to each frame's channel."""
+        for frame in frames:
+            self._channel_bytes[self.channel_of_frame(frame)] += bytes_per_frame
+
+    def traffic_bytes(self) -> np.ndarray:
+        """A copy of cumulative per-channel traffic counters."""
+        return self._channel_bytes.copy()
+
+    def reset_traffic(self) -> None:
+        """Zero all per-channel traffic counters."""
+        self._channel_bytes[:] = 0
+
+
+def channel_balance(histogram: np.ndarray) -> float:
+    """Return a [0, 1] balance score for a bytes-per-channel histogram.
+
+    1.0 means perfectly even distribution across channels; lower values
+    indicate bias.  Defined as the ratio of mean to max occupancy, which is
+    1 for a uniform histogram and approaches ``1/n`` when all data sits on
+    one of *n* channels.  An empty histogram is perfectly balanced.
+    """
+    total = float(histogram.sum())
+    if total == 0.0:
+        return 1.0
+    peak = float(histogram.max())
+    mean = total / len(histogram)
+    return mean / peak
+
+
+def effective_slice_hit_fraction(
+    histogram: np.ndarray, slice_capacity_bytes: int
+) -> float:
+    """Fraction of resident bytes coverable by per-channel cache slices.
+
+    The Infinity Cache is partitioned into slices mapped to individual
+    memory channels (paper Section 5.4): a slice can only cache data on its
+    own channel.  Given the bytes-per-channel histogram of a buffer, the
+    cacheable fraction is ``sum(min(bytes_c, slice_capacity)) / sum(bytes_c)``.
+    Bias in the physical mapping overloads some slices while leaving others
+    idle, reducing this fraction — the mechanism behind malloc's higher CPU
+    latency near the Infinity Cache capacity (paper Fig. 2 and Section 5.4).
+    """
+    total = float(histogram.sum())
+    if total == 0.0:
+        return 1.0
+    covered = np.minimum(histogram, slice_capacity_bytes).sum()
+    return float(covered) / total

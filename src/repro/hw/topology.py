@@ -1,0 +1,129 @@
+"""Chiplet topology of the MI300A APU.
+
+The APU is built from six accelerator complex dies (XCDs, the GPU part),
+three CPU complex dies (CCDs), and four IO dies (IODs) that implement
+cross-die communication and the HBM3 interface (paper Fig. 1).  Every two
+XCDs or three CCDs share an IOD; the Infinity Fabric interconnects the
+chiplets and routes memory requests to channels.
+
+The topology is represented as a :mod:`networkx` graph so examples and
+tests can reason about paths (e.g. XCD -> IOD -> HBM stack) and the
+benchmark suite can verify structural invariants (all six XCDs presented
+as one device, shared memory reachable from every chiplet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import networkx as nx
+
+from .config import MI300AConfig
+
+
+@dataclass(frozen=True)
+class Chiplet:
+    """One die on the APU package."""
+
+    kind: str  # "xcd", "ccd", or "iod"
+    index: int
+
+    @property
+    def node_id(self) -> str:
+        """Stable graph-node identifier, e.g. ``xcd3``."""
+        return f"{self.kind}{self.index}"
+
+
+class APUTopology:
+    """Graph view of the MI300A chiplet interconnect."""
+
+    def __init__(self, config: MI300AConfig) -> None:
+        self._config = config
+        self._graph = nx.Graph()
+        self._build()
+
+    def _build(self) -> None:
+        cfg = self._config
+        for i in range(cfg.iod_count):
+            self._graph.add_node(f"iod{i}", kind="iod")
+        for i in range(cfg.xcd_count):
+            self._graph.add_node(f"xcd{i}", kind="xcd")
+        for i in range(cfg.ccd_count):
+            self._graph.add_node(f"ccd{i}", kind="ccd")
+        for i in range(cfg.hbm.stacks):
+            self._graph.add_node(f"hbm{i}", kind="hbm")
+
+        # Every two XCDs share an IOD (6 XCDs -> IODs 0..2).
+        for i in range(cfg.xcd_count):
+            self._graph.add_edge(f"xcd{i}", f"iod{i // 2}", link="infinity_fabric")
+        # The three CCDs share the remaining IOD.
+        ccd_iod = cfg.iod_count - 1
+        for i in range(cfg.ccd_count):
+            self._graph.add_edge(f"ccd{i}", f"iod{ccd_iod}", link="infinity_fabric")
+        # IODs are fully connected by Infinity Fabric.
+        for a in range(cfg.iod_count):
+            for b in range(a + 1, cfg.iod_count):
+                self._graph.add_edge(f"iod{a}", f"iod{b}", link="infinity_fabric")
+        # Each IOD hosts the interface to two HBM stacks.
+        for stack in range(cfg.hbm.stacks):
+            self._graph.add_edge(
+                f"hbm{stack}", f"iod{stack % cfg.iod_count}", link="hbm_phy"
+            )
+
+    @property
+    def graph(self) -> nx.Graph:
+        """The underlying interconnect graph (do not mutate)."""
+        return self._graph
+
+    def chiplets(self, kind: str) -> List[Chiplet]:
+        """All chiplets of *kind* ("xcd", "ccd", "iod", or "hbm")."""
+        nodes = sorted(
+            n for n, d in self._graph.nodes(data=True) if d["kind"] == kind
+        )
+        return [Chiplet(kind, int(n[len(kind):])) for n in nodes]
+
+    def hops(self, src: str, dst: str) -> int:
+        """Number of Infinity Fabric hops between two nodes."""
+        return nx.shortest_path_length(self._graph, src, dst)
+
+    def path(self, src: str, dst: str) -> List[str]:
+        """A shortest path between two nodes."""
+        return nx.shortest_path(self._graph, src, dst)
+
+    def memory_reachable_from_all(self) -> bool:
+        """True when every compute chiplet can reach every HBM stack.
+
+        This is the structural property that makes the memory *physically
+        unified*: there is no stack private to the CPU or the GPU.
+        """
+        compute = [c.node_id for c in self.chiplets("xcd") + self.chiplets("ccd")]
+        stacks = [c.node_id for c in self.chiplets("hbm")]
+        return all(
+            nx.has_path(self._graph, c, s) for c in compute for s in stacks
+        )
+
+    def max_hops_to_memory(self) -> int:
+        """Worst-case hop count from any compute chiplet to any stack."""
+        compute = [c.node_id for c in self.chiplets("xcd") + self.chiplets("ccd")]
+        stacks = [c.node_id for c in self.chiplets("hbm")]
+        return max(self.hops(c, s) for c in compute for s in stacks)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary of the package."""
+        cfg = self._config
+        return (
+            f"{cfg.name}: {cfg.xcd_count} XCD ({cfg.gpu_compute_units} CUs), "
+            f"{cfg.ccd_count} CCD ({cfg.cpu_cores} cores), "
+            f"{cfg.iod_count} IOD, {cfg.hbm.stacks}x"
+            f"{cfg.hbm.stack_capacity_bytes // (1 << 30)} GiB HBM3"
+        )
+
+
+def link_pairs(topology: APUTopology) -> List[Tuple[str, str]]:
+    """All Infinity Fabric edges in the package, as sorted node pairs."""
+    return sorted(
+        (min(a, b), max(a, b))
+        for a, b, d in topology.graph.edges(data=True)
+        if d.get("link") == "infinity_fabric"
+    )

@@ -1,0 +1,236 @@
+"""Atomics throughput and CPU-GPU coherence contention model (Figs. 4-5).
+
+The paper's histogram benchmark updates random elements of an array of
+2^0, 2^10, 2^20, or 2^30 elements with atomic adds, from CPU threads, GPU
+threads, or both.  The governing mechanisms, all represented here:
+
+* **Implementation.** The compiler emits ``lock incq`` for CPU integer
+  adds but a CAS loop (``lock cmpxchgq``) for CPU FP64 — x86 has no
+  native FP atomics — so FP64 pays a fixed overhead plus retries under
+  contention.  The GPU has native atomic-add units in the shared L2 for
+  both types, hence identical UINT64/FP64 performance (Section 4.4).
+
+* **Residency.** The per-update base cost depends on which cache level
+  the array fits in; 1M elements (8 MiB) fits in L2 and is the sweet
+  spot on both devices.
+
+* **Line contention.** CPU atomics take exclusive ownership of the cache
+  line; when another thread wrote the line recently the update pays a
+  ping-pong transfer.  The dirty-elsewhere probability falls with array
+  size and rises with thread count.
+
+* **Cross-device contention.** When CPU and GPU hammer the same array,
+  lines bounce over Infinity Fabric.  The CPU is hurt far more than the
+  GPU (GPU atomics execute at the memory side and don't need ownership);
+  at moderate GPU rates on an L2-resident array the GPU's updates even
+  *warm* the shared levels for the CPU, the paper's counter-intuitive
+  1.14x co-run speedup.
+
+All constants live in :class:`repro.hw.config.AtomicsCostModel` and were
+fitted to the paper's reported points; the shape assertions in the Fig. 4
+and Fig. 5 benches are the acceptance tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+from ..hw.config import MI300AConfig
+
+DType = Literal["uint64", "fp64"]
+
+_ELEMENT_BYTES = 8
+_CPU_LINE_BYTES = 64
+_GPU_LINE_BYTES = 128
+
+#: Aggregate capacities used for residency decisions (bytes).
+_CPU_L1_AGG = 32 * 1024  # single core's L1: contended arrays live here
+_CPU_L2_AGG = 24 * 1024 * 1024  # 24 cores x 1 MiB
+_CPU_L3_AGG = 96 * 1024 * 1024
+_GPU_L2_AGG = 24 * 1024 * 1024  # 6 XCDs x 4 MiB
+
+#: Fitted dirty-elsewhere floor while the array fits in on-chip caches
+#: (set so the 1M array overtakes the 1-thread case at 6 threads, Fig. 4).
+_CACHED_CONTENTION_FLOOR = 0.12
+_MEMORY_CONTENTION_FLOOR = 0.01
+#: Fitted line-reuse constant: g ~ K / lines.
+_LINE_REUSE_K = 25.0
+#: CAS critical-section widening for FP64 (longer load-compute-CAS hold).
+_FP64_WINDOW_FACTOR = 3.5
+#: Per-thread issue period of the GPU update loop (latency-bound: XORWOW
+#: generation + L2 round trip), fitted to the few-thread regime.
+_GPU_THREAD_PERIOD_NS = 300.0
+#: Effective window (ns) in which a GPU write dirties a line against the
+#: next CPU access; fitted to Fig. 5's 1K-array relative-performance band
+#: (0.87 at 64 GPU threads down to 0.11-0.25 past 3328 GPU threads).
+_CROSS_DEVICE_WINDOW_NS = 25.0
+#: Fitted GPU-side loss when both devices saturate a small array
+#: (Fig. 5: GPU drops to 0.79 at maximal CPU+GPU thread counts on 1K).
+_GPU_CONTENTION_K = 0.27
+
+
+def _cpu_base_cost_ns(config: MI300AConfig, elements: int, dtype: DType) -> float:
+    size = elements * _ELEMENT_BYTES
+    costs = config.atomics
+    if size <= _CPU_L1_AGG:
+        base = costs.cpu_l1_update_ns
+    elif size <= _CPU_L2_AGG:
+        base = costs.cpu_l2_update_ns
+    elif size <= _CPU_L3_AGG:
+        base = costs.cpu_l2_update_ns * 1.6
+    else:
+        base = costs.cpu_mem_update_ns
+    if dtype == "fp64":
+        base *= costs.cpu_fp64_overhead
+    return base
+
+
+def _dirty_elsewhere_probability(elements: int, dtype: DType) -> float:
+    """Probability the target line was last written by another thread."""
+    size = elements * _ELEMENT_BYTES
+    lines = max(1, size // _CPU_LINE_BYTES)
+    if elements * _ELEMENT_BYTES <= _CPU_LINE_BYTES:
+        g = 1.0
+    else:
+        floor = (
+            _CACHED_CONTENTION_FLOOR
+            if size <= _CPU_L3_AGG
+            else _MEMORY_CONTENTION_FLOOR
+        )
+        g = min(1.0, _LINE_REUSE_K / lines + floor)
+    if dtype == "fp64":
+        g = min(1.0, g * _FP64_WINDOW_FACTOR)
+    return g
+
+
+def cpu_atomic_update_cost_ns(
+    config: MI300AConfig, elements: int, threads: int, dtype: DType
+) -> float:
+    """Average cost of one CPU atomic update under contention."""
+    if elements <= 0 or threads <= 0:
+        raise ValueError("elements and threads must be positive")
+    costs = config.atomics
+    cost = _cpu_base_cost_ns(config, elements, dtype)
+    if threads > 1:
+        g = _dirty_elsewhere_probability(elements, dtype)
+        contend = (threads - 1) / threads * g
+        cost += contend * costs.cpu_pingpong_ns
+        if dtype == "fp64":
+            # Failed CAS iterations: pay another ownership round trip.
+            retry_p = min(1.0, (threads - 1) / elements)
+            cost += retry_p * (costs.cpu_pingpong_ns + costs.cpu_cas_retry_ns)
+    return cost
+
+
+def cpu_atomic_throughput(
+    config: MI300AConfig, elements: int, threads: int, dtype: DType
+) -> float:
+    """Isolated CPU atomic-update throughput (updates/s), Fig. 4 row 1."""
+    cost = cpu_atomic_update_cost_ns(config, elements, threads, dtype)
+    return threads / cost * 1e9
+
+
+def gpu_atomic_throughput(
+    config: MI300AConfig, elements: int, threads: int, dtype: DType
+) -> float:
+    """Isolated GPU atomic-update throughput (updates/s), Fig. 4 row 2.
+
+    Throughput is the minimum of three capacities:
+
+    * issue: each GPU thread is a latency-bound update loop;
+    * atomic units: the L2-side units process one update per bank cycle
+      when the array is L2-resident, slower past L2;
+    * line serialisation: same-line updates serialise at one unit, which
+      caps small arrays (and makes 1-element flat in the thread count).
+
+    FP64 and UINT64 are identical by construction (native units).
+    """
+    if elements <= 0 or threads <= 0:
+        raise ValueError("elements and threads must be positive")
+    del dtype  # native atomic units: no FP penalty
+    costs = config.atomics
+    size = elements * _ELEMENT_BYTES
+    issue = threads / _GPU_THREAD_PERIOD_NS
+    if size <= _GPU_L2_AGG:
+        unit_capacity = costs.gpu_l2_banks / costs.gpu_l2_update_ns
+    else:
+        unit_capacity = costs.gpu_l2_banks / costs.gpu_mem_update_ns
+    lines = max(1, size // _GPU_LINE_BYTES)
+    line_capacity = lines / costs.gpu_serialization_ns
+    return min(issue, unit_capacity, line_capacity) * 1e9
+
+
+@dataclass(frozen=True)
+class HybridThroughput:
+    """Co-running throughputs and their ratios to the isolated baselines."""
+
+    cpu_updates_per_s: float
+    gpu_updates_per_s: float
+    cpu_relative: float
+    gpu_relative: float
+
+
+def hybrid_atomic_throughput(
+    config: MI300AConfig,
+    elements: int,
+    cpu_threads: int,
+    gpu_threads: int,
+    dtype: DType,
+) -> HybridThroughput:
+    """Co-running CPU+GPU atomics (Fig. 5).
+
+    The GPU's update stream invalidates CPU-owned lines; every CPU update
+    then has a probability of paying a cross-device transfer over
+    Infinity Fabric.  That probability saturates with the GPU's aggregate
+    rate and shrinks with the number of lines.  The GPU only suffers when
+    the *total* pressure approaches the atomic units' capacity.  On an
+    L2-resident array (1M) a moderate GPU rate instead warms the shared
+    levels for the CPU — a net speedup, as the paper measures.
+    """
+    cpu_iso = cpu_atomic_throughput(config, elements, cpu_threads, dtype)
+    gpu_iso = gpu_atomic_throughput(config, elements, gpu_threads, dtype)
+    costs = config.atomics
+    size = elements * _ELEMENT_BYTES
+    lines = max(1, size // _CPU_LINE_BYTES)
+
+    # Probability a CPU update's line was dirtied by the GPU within the
+    # cross-device window: GPU line-write rate times the window length.
+    cpu_cost_ns = cpu_atomic_update_cost_ns(config, elements, cpu_threads, dtype)
+    gpu_rate_per_ns = gpu_iso / 1e9
+    gpu_hits_per_line = gpu_rate_per_ns * _CROSS_DEVICE_WINDOW_NS / lines
+    p_cross = 1.0 - math.exp(-gpu_hits_per_line)
+    cpu_cost_hybrid = cpu_cost_ns + p_cross * costs.hybrid_transfer_ns
+
+    # Warm-cache benefit: only for arrays resident in the shared levels
+    # and only while the cross-device collision rate is low.
+    if _CPU_L1_AGG < size <= _GPU_L2_AGG:
+        sweet = math.exp(-((math.log10(max(gpu_iso, 1.0)) - 9.5) ** 2))
+        bonus = costs.hybrid_warm_cache_bonus * sweet * (1.0 - p_cross)
+        cpu_cost_hybrid /= 1.0 + bonus
+    cpu_hybrid = cpu_threads / cpu_cost_hybrid * 1e9
+
+    # GPU degradation: CPU exclusive-ownership stalls at the atomic
+    # units.  Scales with both devices' thread pressure, and only bites
+    # on small (few-line) arrays.
+    max_gpu_threads = config.gpu_compute_units * costs.gpu_threads_per_cu
+    contested = min(1.0, 256.0 / lines)
+    loss = (
+        _GPU_CONTENTION_K
+        * contested
+        * (cpu_threads / config.cpu_cores)
+        * min(1.0, gpu_threads / max_gpu_threads)
+    )
+    gpu_factor = 1.0 / (1.0 + loss)
+    if _CPU_L1_AGG < size <= _GPU_L2_AGG:
+        gpu_factor *= 1.0 + 0.02 * (1.0 - p_cross)
+    gpu_hybrid = gpu_iso * gpu_factor
+
+    return HybridThroughput(
+        cpu_updates_per_s=cpu_hybrid,
+        gpu_updates_per_s=gpu_hybrid,
+        cpu_relative=cpu_hybrid / cpu_iso if cpu_iso else 0.0,
+        gpu_relative=gpu_hybrid / gpu_iso if gpu_iso else 0.0,
+    )
+

@@ -1,0 +1,27 @@
+"""Porting strategies for moving explicit-model codes to unified memory
+(paper Section 3.3): double buffering, reliable memory counters, merged
+partial-transfer pipelines, guarded stack variables, and containers with
+pluggable allocators.
+"""
+
+from .containers import UnifiedVector
+from .strategies import (
+    ChunkSchedule,
+    DoubleBuffer,
+    StackFlag,
+    event_synchronised_swap,
+    merged_pipeline,
+    naive_free_memory,
+    reliable_free_memory,
+)
+
+__all__ = [
+    "ChunkSchedule",
+    "DoubleBuffer",
+    "StackFlag",
+    "UnifiedVector",
+    "event_synchronised_swap",
+    "merged_pipeline",
+    "naive_free_memory",
+    "reliable_free_memory",
+]

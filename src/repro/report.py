@@ -1,0 +1,222 @@
+"""Machine-readable experiment reports (CSV / JSON export).
+
+The benchmark harness prints the paper's rows for humans; this module
+renders the same results as structured records so downstream tooling
+(plotting scripts, regression dashboards) can consume them:
+
+    from repro.report import ExperimentReport, collect_fig9
+
+    report = collect_fig9(quick=True)
+    report.to_csv("fig9.csv")
+    report.to_json("fig9.json")
+
+Every collector returns an :class:`ExperimentReport` — an experiment id,
+column names, and rows — and `collect_all` gathers the cheap
+model-backed experiments in one call.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence
+
+from .hw.config import GiB, KiB, MiB
+
+
+@dataclass
+class ExperimentReport:
+    """One experiment's results as a column/row table."""
+
+    experiment: str
+    title: str
+    columns: List[str]
+    rows: List[List[object]] = field(default_factory=list)
+
+    def add(self, *values: object) -> None:
+        """Append one row (must match the column count)."""
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"row has {len(values)} values, expected {len(self.columns)}"
+            )
+        self.rows.append(list(values))
+
+    def to_csv(self, path: str | Path) -> Path:
+        """Write the report as CSV; returns the path."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+        return path
+
+    def to_json(self, path: str | Path | None = None) -> str:
+        """Serialise to JSON (optionally writing to *path*)."""
+        payload = json.dumps(
+            {
+                "experiment": self.experiment,
+                "title": self.title,
+                "columns": self.columns,
+                "rows": self.rows,
+            },
+            indent=2,
+        )
+        if path is not None:
+            Path(path).write_text(payload)
+        return payload
+
+    def column(self, name: str) -> List[object]:
+        """All values of one column."""
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+# ----------------------------------------------------------------------
+# Collectors
+# ----------------------------------------------------------------------
+
+
+def collect_table1() -> ExperimentReport:
+    """Table 1: allocator capability matrix."""
+    from .core.allocators import allocator_table
+
+    report = ExperimentReport(
+        "table1", "Memory allocators on MI300A",
+        ["allocator", "xnack", "gpu_access", "cpu_access", "physical"],
+    )
+    for xnack in (False, True):
+        for row in allocator_table(xnack):
+            report.add(row["allocator"], xnack, row["gpu_access"],
+                       row["cpu_access"], row["physical_allocation"])
+    return report
+
+
+def collect_fig2(quick: bool = False) -> ExperimentReport:
+    """Fig. 2: latency curves."""
+    from .bench import multichase
+
+    sizes = [1 * KiB, 1 * MiB, 256 * MiB] if quick else None
+    allocators = ["malloc", "hipMalloc"] if quick else None
+    report = ExperimentReport(
+        "fig2", "Pointer-chase latency",
+        ["allocator", "device", "size_bytes", "latency_ns"],
+    )
+    for s in multichase.full_sweep(sizes=sizes, allocators=allocators,
+                                   memory_gib=16):
+        report.add(s.allocator, s.device, s.size_bytes, round(s.latency_ns, 2))
+    return report
+
+
+def collect_fig6() -> ExperimentReport:
+    """Fig. 6: allocation speed."""
+    from .bench import allocspeed
+
+    report = ExperimentReport(
+        "fig6", "Allocation / deallocation time",
+        ["allocator", "size_bytes", "alloc_ns", "free_ns"],
+    )
+    for s in allocspeed.full_cost_sweep():
+        report.add(s.allocator, s.size_bytes, round(s.alloc_ns, 1),
+                   round(s.free_ns, 1))
+    return report
+
+
+def collect_fig7() -> ExperimentReport:
+    """Fig. 7: page-fault throughput."""
+    from .bench import pagefault
+
+    report = ExperimentReport(
+        "fig7", "Page-fault throughput",
+        ["scenario", "pages", "pages_per_s"],
+    )
+    for s in pagefault.full_throughput_sweep():
+        report.add(s.scenario, s.pages, round(s.pages_per_s, 1))
+    return report
+
+
+def collect_fig8() -> ExperimentReport:
+    """Fig. 8: single-fault latency."""
+    from .bench import pagefault
+
+    report = ExperimentReport(
+        "fig8", "Single-fault latency",
+        ["fault_type", "mean_us", "p50_us", "p95_us"],
+    )
+    for s in pagefault.latency_distributions():
+        report.add(s.scenario, round(s.mean_us, 2), round(s.p50_us, 2),
+                   round(s.p95_us, 2))
+    return report
+
+
+def collect_fig4(quick: bool = False) -> ExperimentReport:
+    """Fig. 4: isolated atomics."""
+    from .bench import histogram
+
+    sizes = [1 << 10, 1 << 20] if quick else histogram.ARRAY_SIZES
+    report = ExperimentReport(
+        "fig4", "Atomics throughput",
+        ["device", "dtype", "elements", "threads", "updates_per_s"],
+    )
+    for dtype in ("uint64", "fp64"):
+        for elements in sizes:
+            for s in histogram.cpu_sweep(elements, dtype):
+                report.add("cpu", dtype, elements, s.threads,
+                           round(s.updates_per_s, 1))
+            for s in histogram.gpu_sweep(elements, dtype):
+                report.add("gpu", dtype, elements, s.threads,
+                           round(s.updates_per_s, 1))
+    return report
+
+
+def collect_uvm(quick: bool = False) -> ExperimentReport:
+    """Extension: UPM vs UVM vs explicit."""
+    from .uvm import three_way_comparison
+
+    size = 256 * MiB if quick else 1 * GiB
+    results = three_way_comparison(working_set_bytes=size, iterations=10)
+    baseline = results["explicit/discrete"]
+    report = ExperimentReport(
+        "uvm", "UPM vs UVM vs explicit",
+        ["model", "time_ms", "vs_explicit", "moved_bytes"],
+    )
+    for name, r in results.items():
+        report.add(name, round(r.time_ms, 2),
+                   round(r.relative_to(baseline), 3), r.moved_bytes)
+    return report
+
+
+#: All cheap collectors keyed by experiment id.
+COLLECTORS = {
+    "table1": collect_table1,
+    "fig4": collect_fig4,
+    "fig6": collect_fig6,
+    "fig7": collect_fig7,
+    "fig8": collect_fig8,
+    "uvm": collect_uvm,
+}
+
+
+def collect_all(quick: bool = True) -> Dict[str, ExperimentReport]:
+    """Run every cheap collector; returns reports keyed by experiment."""
+    out = {}
+    for name, collector in COLLECTORS.items():
+        try:
+            out[name] = collector(quick)  # type: ignore[call-arg]
+        except TypeError:
+            out[name] = collector()  # collectors without a quick knob
+    return out
+
+
+def export_all(directory: str | Path, quick: bool = True) -> List[Path]:
+    """Export every cheap experiment as CSV into *directory*."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name, report in collect_all(quick).items():
+        paths.append(report.to_csv(directory / f"{name}.csv"))
+    return paths

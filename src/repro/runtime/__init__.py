@@ -1,0 +1,54 @@
+"""HIP-like runtime over the simulated MI300A APU.
+
+:class:`~repro.runtime.apu.APU` wires all subsystems together;
+:class:`~repro.runtime.hip.HipRuntime` exposes the HIP API surface the
+paper's benchmarks and ported applications use.
+"""
+
+from .apu import APU, make_apu
+from .arrays import DeviceArray
+from .device import CPUComplex, GPUCounters, GPUDevice
+from .hip import (
+    HipError,
+    HipRuntime,
+    hipMemcpyDefault,
+    hipMemcpyDeviceToDevice,
+    hipMemcpyDeviceToHost,
+    hipMemcpyHostToDevice,
+    make_runtime,
+)
+from .kernels import (
+    BufferAccess,
+    KERNEL_LAUNCH_OVERHEAD_NS,
+    KernelEngine,
+    KernelResult,
+    KernelSpec,
+)
+from .sdma import memcpy_bandwidth_bytes_per_s, memcpy_time_ns
+from .stream import Event, Stream, StreamRegistry
+
+__all__ = [
+    "APU",
+    "BufferAccess",
+    "CPUComplex",
+    "DeviceArray",
+    "Event",
+    "GPUCounters",
+    "GPUDevice",
+    "HipError",
+    "HipRuntime",
+    "KERNEL_LAUNCH_OVERHEAD_NS",
+    "KernelEngine",
+    "KernelResult",
+    "KernelSpec",
+    "Stream",
+    "StreamRegistry",
+    "hipMemcpyDefault",
+    "hipMemcpyDeviceToDevice",
+    "hipMemcpyDeviceToHost",
+    "hipMemcpyHostToDevice",
+    "make_apu",
+    "make_runtime",
+    "memcpy_bandwidth_bytes_per_s",
+    "memcpy_time_ns",
+]

@@ -1,0 +1,172 @@
+"""The top-level simulated APU: all subsystems wired together.
+
+One :class:`APU` instance corresponds to the paper's experimental unit —
+a single MI300A bound with ``numactl`` and ``HIP_VISIBLE_DEVICES``
+(Section 3).  It owns the clock, the physical pool, the process address
+space, both page tables with their HMM mirror, the fault handler, the
+memory manager, the GPU/CPU device models, and the Infinity Cache model,
+plus the helpers that derive per-buffer performance traits from that
+state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+from ..core.address_space import AddressSpace
+from ..core.allocators import Allocation, MemoryManager
+from ..core.faults import FaultHandler, FaultReport
+from ..core.fragments import average_fragment_bytes
+from ..core.page_table import GPUPageTable, HMMMirror, SystemPageTable
+from ..hw.clock import SimClock
+from ..hw.config import MI300AConfig, default_config
+from ..hw.hbm import HBMSubsystem, channel_balance
+from ..hw.infinity_cache import InfinityCache
+from ..hw.topology import APUTopology
+from ..perf.bandwidth import BufferTraits
+from .device import CPUComplex, GPUDevice
+from .stream import StreamRegistry
+
+
+class APU:
+    """A fully wired simulated MI300A APU and one process on it.
+
+    Args:
+        config: hardware/policy configuration; defaults to the
+            paper-calibrated MI300A.
+        xnack: whether the process runs with ``HSA_XNACK=1`` (enables
+            GPU page-fault replay; flips the on-demand allocators of
+            Table 1).
+        seed: seed for the deterministic allocation/fault randomness.
+    """
+
+    def __init__(
+        self,
+        config: Optional[MI300AConfig] = None,
+        xnack: bool = False,
+        seed: int = 0x1300A,
+    ) -> None:
+        from ..core.physical import PhysicalMemory  # local to keep import light
+
+        self.config = config if config is not None else default_config()
+        self.clock = SimClock()
+        self.physical = PhysicalMemory(self.config, seed=seed)
+        self.address_space = AddressSpace()
+        self.system_pt = SystemPageTable()
+        self.gpu_pt = GPUPageTable()
+        self.hmm = HMMMirror(self.system_pt, self.gpu_pt)
+        self.faults = FaultHandler(
+            self.config, self.physical, self.hmm, xnack_enabled=xnack, seed=seed
+        )
+        self.memory = MemoryManager(
+            self.config,
+            self.physical,
+            self.address_space,
+            self.hmm,
+            self.faults,
+            self.clock,
+        )
+        self.hbm_map = HBMSubsystem(self.config.hbm)
+        self.infinity_cache = InfinityCache(self.config.infinity_cache, self.hbm_map)
+        self.topology = APUTopology(self.config)
+        self.gpu = GPUDevice(self.config)
+        self.cpu = CPUComplex(self.config)
+        self.streams = StreamRegistry(self.clock)
+
+    @property
+    def xnack(self) -> bool:
+        """Whether XNACK (GPU fault replay) is enabled for this process."""
+        return self.faults.xnack_enabled
+
+    # ------------------------------------------------------------------
+    # State-derived performance traits
+    # ------------------------------------------------------------------
+
+    def buffer_traits(self, allocation: Allocation) -> BufferTraits:
+        """Derive the bandwidth-model traits of a buffer from live state."""
+        vma = allocation.vma
+        gpu_mapped = vma.gpu_valid
+        if gpu_mapped.any():
+            avg_fragment = average_fragment_bytes(vma.fragment[gpu_mapped])
+        else:
+            avg_fragment = 0.0
+        frames = vma.resident_frames()
+        if frames.size:
+            balance = channel_balance(self.hbm_map.channel_histogram(frames))
+        else:
+            balance = 1.0
+        return BufferTraits(
+            on_demand=allocation.on_demand,
+            uncached=vma.uncached,
+            average_fragment_bytes=avg_fragment,
+            channel_balance=balance,
+        )
+
+    def ic_hit_fraction(
+        self, allocation: Allocation, working_set_bytes: Optional[int] = None
+    ) -> float:
+        """Infinity Cache hit fraction for (a prefix of) a buffer."""
+        frames = allocation.vma.resident_frames()
+        if frames.size == 0:
+            return 1.0
+        if working_set_bytes is not None:
+            pages = max(1, min(len(frames), working_set_bytes // 4096))
+            frames = frames[:pages]
+        return self.infinity_cache.hit_fraction(frames)
+
+    # ------------------------------------------------------------------
+    # Touch (fault) helpers
+    # ------------------------------------------------------------------
+
+    def touch(
+        self,
+        allocation: Allocation,
+        device: str,
+        offset_bytes: int = 0,
+        size_bytes: Optional[int] = None,
+        concurrency: int = 1,
+        advance_clock: bool = True,
+    ) -> FaultReport:
+        """Touch a byte range of a buffer from one device.
+
+        Resolves any page faults (or raises
+        :class:`~repro.core.faults.GPUMemoryAccessError` for illegal GPU
+        access), optionally advancing the simulated clock by the fault
+        service time.
+        """
+        vma = allocation.vma
+        if size_bytes is None:
+            size_bytes = allocation.size_bytes - offset_bytes
+        first, count = vma.page_range(vma.start + offset_bytes, size_bytes)
+        report = self.faults.touch_range(
+            vma, first, count, device, concurrency=concurrency
+        )
+        if advance_clock:
+            self.clock.advance(report.service_time_ns)
+        return report
+
+    def prefault_cpu(self, allocation: Allocation, cores: int = 12) -> FaultReport:
+        """The paper's recommended CPU pre-faulting strategy (Section 5.2)."""
+        return self.touch(allocation, "cpu", concurrency=cores)
+
+    def __repr__(self) -> str:
+        return (
+            f"APU({self.config.name}, xnack={self.xnack}, "
+            f"t={self.clock.now_ns / 1e6:.3f} ms)"
+        )
+
+
+def make_apu(
+    memory_gib: Optional[int] = None, xnack: bool = False, seed: int = 0x1300A
+) -> APU:
+    """Convenience constructor.
+
+    *memory_gib* of None builds the full 128 GiB APU; small values build
+    a down-scaled pool for fast tests (policies unchanged).
+    """
+    if memory_gib is None:
+        return APU(xnack=xnack, seed=seed)
+    from ..hw.config import small_config
+
+    return APU(config=small_config(memory_gib << 30), xnack=xnack, seed=seed)

@@ -1,0 +1,83 @@
+"""Numpy-backed device arrays.
+
+Applications in :mod:`repro.apps` do *real* computation: every buffer is
+a numpy array whose contents are transformed by the kernels' host-side
+math.  The :class:`DeviceArray` pairs that numpy storage with its
+simulated :class:`~repro.core.allocators.Allocation`, so the same object
+carries both the data (for correctness) and the memory-system state (for
+timing).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.allocators import Allocation
+
+Shape = Union[int, Tuple[int, ...]]
+
+
+class DeviceArray:
+    """A typed, shaped view over one simulated allocation."""
+
+    def __init__(
+        self, allocation: Allocation, shape: Shape, dtype: np.dtype | str
+    ) -> None:
+        shape_tuple = (shape,) if isinstance(shape, int) else tuple(shape)
+        dtype = np.dtype(dtype)
+        needed = int(np.prod(shape_tuple)) * dtype.itemsize
+        if needed > allocation.size_bytes:
+            raise ValueError(
+                f"array of {needed} B does not fit allocation of "
+                f"{allocation.size_bytes} B"
+            )
+        self.allocation = allocation
+        self.np = np.zeros(shape_tuple, dtype=dtype)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Array shape."""
+        return self.np.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        """Element type."""
+        return self.np.dtype
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of payload data (may be below the allocation size)."""
+        return self.np.nbytes
+
+    @property
+    def size(self) -> int:
+        """Number of elements."""
+        return self.np.size
+
+    def fill(self, value: float) -> None:
+        """Set every element (host-side initialisation)."""
+        self.np[...] = value
+
+    def copy_from(self, other: "DeviceArray", nbytes: Optional[int] = None) -> None:
+        """Copy payload bytes from another array (used by hipMemcpy).
+
+        A partial copy (*nbytes*) moves a prefix in flattened order,
+        matching the pointer-arithmetic copies of the original codes.
+        """
+        if nbytes is None:
+            if other.np.shape != self.np.shape or other.dtype != self.dtype:
+                raise ValueError("full copy requires matching shape and dtype")
+            self.np[...] = other.np
+            return
+        if nbytes % self.dtype.itemsize:
+            raise ValueError("partial copy must be element aligned")
+        count = nbytes // self.dtype.itemsize
+        self.np.reshape(-1)[:count] = other.np.reshape(-1)[:count]
+
+    def __repr__(self) -> str:
+        return (
+            f"DeviceArray({self.allocation.kind.value}, shape={self.shape}, "
+            f"dtype={self.dtype})"
+        )

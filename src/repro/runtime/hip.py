@@ -1,0 +1,268 @@
+"""HIP-like runtime API over the simulated APU.
+
+This facade mirrors the subset of HIP the paper's benchmarks and Rodinia
+ports use: memory management (Table 1's allocators), synchronous and
+asynchronous copies, kernel launch, streams/events, and device queries.
+Function names follow HIP (camelCase) so ported code reads like the
+original; everything operates on one :class:`~repro.runtime.apu.APU`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.allocators import Allocation
+from .apu import APU
+from .arrays import DeviceArray, Shape
+from .kernels import KernelEngine, KernelResult, KernelSpec
+from .sdma import memcpy_time_ns
+from .stream import Event, Stream
+
+#: hipMemcpy kind constants (accepted and ignored: UPM has one memory).
+hipMemcpyHostToDevice = "H2D"
+hipMemcpyDeviceToHost = "D2H"
+hipMemcpyDeviceToDevice = "D2D"
+hipMemcpyDefault = "default"
+
+BufferLike = Union[Allocation, DeviceArray]
+
+
+class HipError(RuntimeError):
+    """A HIP API call failed (the simulator raises instead of returning
+    error codes, but the message carries the hipError_t name)."""
+
+
+def _allocation(buffer: BufferLike) -> Allocation:
+    if isinstance(buffer, DeviceArray):
+        return buffer.allocation
+    return buffer
+
+
+class HipRuntime:
+    """The process-level HIP runtime bound to one APU."""
+
+    def __init__(self, apu: APU, sdma_enabled: bool = True) -> None:
+        self.apu = apu
+        self.sdma_enabled = sdma_enabled
+        self._engine = KernelEngine(apu)
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+
+    def hipMalloc(self, nbytes: int, name: str = "hipMalloc") -> Allocation:
+        """Allocate device-style memory (up-front, contiguous)."""
+        return self.apu.memory.hip_malloc(nbytes, name=name)
+
+    def hipHostMalloc(self, nbytes: int, name: str = "hipHostMalloc") -> Allocation:
+        """Allocate page-locked host-style memory (up-front, pinned)."""
+        return self.apu.memory.hip_host_malloc(nbytes, name=name)
+
+    def hipMallocManaged(self, nbytes: int, name: str = "managed") -> Allocation:
+        """Allocate managed memory (mode depends on XNACK, Table 1)."""
+        return self.apu.memory.hip_malloc_managed(nbytes, name=name)
+
+    def malloc(self, nbytes: int, name: str = "malloc") -> Allocation:
+        """libc malloc (exposed here for side-by-side benchmarks)."""
+        return self.apu.memory.malloc(nbytes, name=name)
+
+    def hipHostRegister(self, buffer: BufferLike) -> Allocation:
+        """Pin an existing malloc'd range and map it for the GPU."""
+        return self.apu.memory.host_register(_allocation(buffer))
+
+    def hipFree(self, buffer: BufferLike) -> None:
+        """Free any allocation (dispatches the right deallocator)."""
+        self.apu.memory.free(_allocation(buffer))
+
+    def hipMemGetInfo(self) -> Tuple[int, int]:
+        """(free, total) as HIP reports it — hipMalloc visibility only."""
+        from ..core.meminfo import hip_mem_get_info
+
+        return hip_mem_get_info(self.apu.memory, self.apu.physical)
+
+    # Array conveniences -------------------------------------------------
+
+    def array(
+        self,
+        shape: Shape,
+        dtype: np.dtype | str = np.float32,
+        allocator: str = "hipMalloc",
+        name: str = "",
+    ) -> DeviceArray:
+        """Allocate a typed array through a named allocator.
+
+        *allocator* is one of ``malloc``, ``hipMalloc``, ``hipHostMalloc``,
+        ``hipMallocManaged``, ``malloc+register``, ``managed_static``.
+        """
+        shape_tuple = (shape,) if isinstance(shape, int) else tuple(shape)
+        nbytes = int(np.prod(shape_tuple)) * np.dtype(dtype).itemsize
+        nbytes = max(nbytes, 1)
+        mem = self.apu.memory
+        label = name or allocator
+        if allocator == "malloc":
+            alloc = mem.malloc(nbytes, name=label)
+        elif allocator == "hipMalloc":
+            alloc = mem.hip_malloc(nbytes, name=label)
+        elif allocator == "hipHostMalloc":
+            alloc = mem.hip_host_malloc(nbytes, name=label)
+        elif allocator == "hipMallocManaged":
+            alloc = mem.hip_malloc_managed(nbytes, name=label)
+        elif allocator == "malloc+register":
+            alloc = mem.host_register(mem.malloc(nbytes, name=label))
+        elif allocator == "managed_static":
+            alloc = mem.managed_static(nbytes, name=label)
+        else:
+            raise HipError(f"hipErrorInvalidValue: unknown allocator {allocator!r}")
+        return DeviceArray(alloc, shape, dtype)
+
+    # ------------------------------------------------------------------
+    # Copies
+    # ------------------------------------------------------------------
+
+    def hipMemcpy(
+        self,
+        dst: BufferLike,
+        src: BufferLike,
+        nbytes: Optional[int] = None,
+        kind: str = hipMemcpyDefault,
+        dst_offset: int = 0,
+        src_offset: int = 0,
+    ) -> None:
+        """Synchronous copy: blocks the host until the copy completes.
+
+        On UPM this is *legacy* data movement (Section 4.3) — the data
+        does not need to move, but ported code still pays for it.  The
+        offsets support the partial-transfer pipelines of Section 3.3.
+        """
+        del kind  # one physical memory: the kind flag is advisory
+        dst_alloc, src_alloc = _allocation(dst), _allocation(src)
+        if nbytes is None:
+            nbytes = min(dst_alloc.size_bytes, src_alloc.size_bytes)
+            if isinstance(dst, DeviceArray) and isinstance(src, DeviceArray):
+                nbytes = min(dst.nbytes, src.nbytes)
+        if (
+            dst_offset + nbytes > dst_alloc.size_bytes
+            or src_offset + nbytes > src_alloc.size_bytes
+        ):
+            raise HipError("hipErrorInvalidValue: copy exceeds buffer size")
+        # Synchronous semantics: drain the default stream first.
+        self.apu.streams.default.synchronize()
+        self._resolve_copy_faults(dst_alloc, src_alloc, nbytes, dst_offset, src_offset)
+        duration = memcpy_time_ns(
+            self.apu.config, dst_alloc, src_alloc, nbytes, self.sdma_enabled
+        )
+        self.apu.clock.advance(duration)
+        self._move_payload(dst, src, nbytes, dst_offset, src_offset)
+
+    def hipMemcpyAsync(
+        self,
+        dst: BufferLike,
+        src: BufferLike,
+        nbytes: Optional[int] = None,
+        stream: Optional[Stream] = None,
+        dst_offset: int = 0,
+        src_offset: int = 0,
+    ) -> None:
+        """Asynchronous copy on a stream."""
+        dst_alloc, src_alloc = _allocation(dst), _allocation(src)
+        if nbytes is None:
+            nbytes = min(dst_alloc.size_bytes, src_alloc.size_bytes)
+        self._resolve_copy_faults(dst_alloc, src_alloc, nbytes, dst_offset, src_offset)
+        duration = memcpy_time_ns(
+            self.apu.config, dst_alloc, src_alloc, nbytes, self.sdma_enabled
+        )
+        self.apu.streams.resolve(stream).enqueue(duration)
+        self._move_payload(dst, src, nbytes, dst_offset, src_offset)
+
+    def _resolve_copy_faults(
+        self,
+        dst: Allocation,
+        src: Allocation,
+        nbytes: int,
+        dst_offset: int,
+        src_offset: int,
+    ) -> None:
+        # The copy engine needs both ranges resident; the runtime touches
+        # pageable memory from the CPU side before programming the DMA.
+        if nbytes <= 0:
+            return
+        self.apu.touch(src, "cpu", offset_bytes=src_offset, size_bytes=nbytes)
+        self.apu.touch(dst, "cpu", offset_bytes=dst_offset, size_bytes=nbytes)
+
+    @staticmethod
+    def _move_payload(
+        dst: BufferLike,
+        src: BufferLike,
+        nbytes: int,
+        dst_offset: int = 0,
+        src_offset: int = 0,
+    ) -> None:
+        if not (isinstance(dst, DeviceArray) and isinstance(src, DeviceArray)):
+            return
+        if dst_offset == 0 and src_offset == 0:
+            full = nbytes == dst.nbytes == src.nbytes
+            dst.copy_from(src, None if full else nbytes)
+            return
+        item = dst.dtype.itemsize
+        if dst_offset % item or src_offset % item or nbytes % item:
+            raise HipError("hipErrorInvalidValue: unaligned partial copy")
+        count = nbytes // item
+        dst.np.reshape(-1)[dst_offset // item : dst_offset // item + count] = (
+            src.np.reshape(-1)[src_offset // item : src_offset // item + count]
+        )
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+
+    def launchKernel(
+        self, spec: KernelSpec, stream: Optional[Stream] = None
+    ) -> KernelResult:
+        """Launch a declared kernel on the GPU (asynchronous)."""
+        return self._engine.run_gpu(spec, stream)
+
+    def runCpuKernel(self, spec: KernelSpec, threads: int = 1) -> KernelResult:
+        """Run a declared kernel on CPU threads (synchronous)."""
+        return self._engine.run_cpu(spec, threads)
+
+    # ------------------------------------------------------------------
+    # Streams, events, synchronisation
+    # ------------------------------------------------------------------
+
+    def hipStreamCreate(self, name: str = "") -> Stream:
+        """Create a new stream."""
+        return self.apu.streams.create(name)
+
+    def hipEventCreate(self, name: str = "") -> Event:
+        """Create an event."""
+        return Event(name)
+
+    def hipEventRecord(self, event: Event, stream: Optional[Stream] = None) -> None:
+        """Record an event on a stream."""
+        self.apu.streams.resolve(stream).record_event(event)
+
+    def hipStreamWaitEvent(self, stream: Optional[Stream], event: Event) -> None:
+        """Make a stream wait for an event."""
+        self.apu.streams.resolve(stream).wait_event(event)
+
+    def hipStreamSynchronize(self, stream: Optional[Stream] = None) -> None:
+        """Block the host until a stream drains."""
+        self.apu.streams.resolve(stream).synchronize()
+
+    def hipDeviceSynchronize(self) -> None:
+        """Block the host until all streams drain."""
+        self.apu.streams.device_synchronize()
+
+
+def make_runtime(
+    memory_gib: Optional[int] = None,
+    xnack: bool = False,
+    sdma_enabled: bool = True,
+    seed: int = 0x1300A,
+) -> HipRuntime:
+    """Build an APU and its HIP runtime in one call."""
+    from .apu import make_apu
+
+    return HipRuntime(make_apu(memory_gib, xnack=xnack, seed=seed), sdma_enabled)

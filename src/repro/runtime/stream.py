@@ -1,0 +1,107 @@
+"""HIP streams and events over the simulated clock.
+
+Streams let asynchronous work (kernels, async copies) overlap with host
+execution: the host enqueues an operation and continues; the operation
+occupies the stream's timeline.  This is what makes the paper's
+double-buffering port of heartwall meaningful (Section 3.3, "Concurrent
+CPU-GPU Access"): CPU pre-processing overlaps the previous iteration's
+GPU kernel, synchronised with stream events.
+
+The timeline model: each stream tracks ``available_at_ns``; an enqueued
+operation starts at ``max(host_now, available_at)`` and pushes the
+stream's horizon forward.  Host-side synchronisation advances the
+simulated clock to the relevant horizon.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..hw.clock import SimClock
+
+
+class Event:
+    """A HIP event: a recorded point on a stream's timeline."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self.timestamp_ns: Optional[float] = None
+
+    @property
+    def recorded(self) -> bool:
+        """True once the event has been recorded on some stream."""
+        return self.timestamp_ns is not None
+
+    def elapsed_since(self, earlier: "Event") -> float:
+        """hipEventElapsedTime analogue, in nanoseconds."""
+        if self.timestamp_ns is None or earlier.timestamp_ns is None:
+            raise RuntimeError("both events must be recorded")
+        return self.timestamp_ns - earlier.timestamp_ns
+
+
+class Stream:
+    """One in-order HIP stream."""
+
+    def __init__(self, clock: SimClock, name: str = "") -> None:
+        self._clock = clock
+        self.name = name
+        self.available_at_ns: float = clock.now_ns
+
+    def enqueue(self, duration_ns: float) -> tuple[float, float]:
+        """Schedule an operation of *duration_ns* on this stream.
+
+        Returns its (start, end) simulated times.  The host clock is not
+        advanced — enqueueing is asynchronous.
+        """
+        if duration_ns < 0:
+            raise ValueError(f"negative duration {duration_ns}")
+        start = max(self._clock.now_ns, self.available_at_ns)
+        end = start + duration_ns
+        self.available_at_ns = end
+        return start, end
+
+    def record_event(self, event: Event) -> None:
+        """hipEventRecord: the event completes when prior work completes."""
+        event.timestamp_ns = max(self.available_at_ns, self._clock.now_ns)
+
+    def wait_event(self, event: Event) -> None:
+        """hipStreamWaitEvent: later work waits for the event."""
+        if event.timestamp_ns is None:
+            raise RuntimeError(f"waiting on unrecorded event {event.name!r}")
+        self.available_at_ns = max(self.available_at_ns, event.timestamp_ns)
+
+    def synchronize(self) -> None:
+        """hipStreamSynchronize: host blocks until the stream drains."""
+        self._clock.advance_to(self.available_at_ns)
+
+    @property
+    def idle(self) -> bool:
+        """True when no enqueued work is outstanding at host time."""
+        return self.available_at_ns <= self._clock.now_ns
+
+
+class StreamRegistry:
+    """All streams of one runtime, including the default stream 0."""
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self.default = Stream(clock, name="stream0")
+        self._streams: List[Stream] = [self.default]
+
+    def create(self, name: str = "") -> Stream:
+        """hipStreamCreate."""
+        stream = Stream(self._clock, name or f"stream{len(self._streams)}")
+        self._streams.append(stream)
+        return stream
+
+    def resolve(self, stream: Optional[Stream]) -> Stream:
+        """Map None to the default stream, as the HIP API does."""
+        return stream if stream is not None else self.default
+
+    def device_synchronize(self) -> None:
+        """hipDeviceSynchronize: host blocks until every stream drains."""
+        horizon = max(s.available_at_ns for s in self._streams)
+        self._clock.advance_to(horizon)
+
+    def __iter__(self):
+        return iter(self._streams)

@@ -1,0 +1,38 @@
+"""Discrete-GPU UVM comparison substrate.
+
+Models the software-unified-memory world (Nvidia-style UVM on a
+discrete GPU) that the paper's UPM architecture supersedes, so the
+repository can quantify what hardware unification buys: the 2-3x
+unified-model penalty of fault-driven page migration disappears.
+"""
+
+from .comparison import (
+    ModelResult,
+    run_explicit_discrete,
+    run_upm,
+    run_uvm,
+    three_way_comparison,
+)
+from .config import UVMConfig, default_uvm_config
+from .system import (
+    DeviceOutOfMemoryError,
+    ExplicitDeviceBuffer,
+    ManagedBuffer,
+    UVMCounters,
+    UVMSystem,
+)
+
+__all__ = [
+    "DeviceOutOfMemoryError",
+    "ExplicitDeviceBuffer",
+    "ManagedBuffer",
+    "ModelResult",
+    "UVMConfig",
+    "UVMCounters",
+    "UVMSystem",
+    "default_uvm_config",
+    "run_explicit_discrete",
+    "run_upm",
+    "run_uvm",
+    "three_way_comparison",
+]

@@ -1,0 +1,334 @@
+"""Discrete-GPU system with software unified memory (UVM).
+
+Models the pre-UPM world the paper contrasts against: CPU and GPU have
+*separate* physical memories joined by an interconnect.  Managed
+allocations hold a per-page residency bit; touching a non-resident page
+faults, and the driver migrates pages (in batches) across the link.
+The GPU can oversubscribe its memory by evicting pages back to the host
+— the one capability UPM gives up (paper Section 2.1).
+
+The same :class:`~repro.runtime.kernels.KernelSpec` descriptors used on
+the simulated APU run here, so workloads can be compared apples to
+apples across the three memory models:
+
+* explicit (discrete): hipMalloc + hipMemcpy over the link,
+* UVM (discrete): managed memory + fault-driven migration,
+* UPM (MI300A): one physical memory, no movement at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Literal, Optional
+
+import numpy as np
+
+from ..hw.clock import SimClock
+from .config import PAGE_SIZE, UVM_MIGRATION_CHUNK_BYTES, UVMConfig, default_uvm_config
+
+Location = Literal["host", "device"]
+
+
+class DeviceOutOfMemoryError(MemoryError):
+    """Explicit device allocation exceeded the discrete GPU's memory."""
+
+
+@dataclass
+class UVMCounters:
+    """Observable UVM activity (what [2, 3]'s driver instrumentation sees)."""
+
+    gpu_fault_batches: int = 0
+    gpu_faulted_pages: int = 0
+    cpu_faults: int = 0
+    migrated_to_device_bytes: int = 0
+    migrated_to_host_bytes: int = 0
+    evicted_bytes: int = 0
+
+    @property
+    def total_migrated_bytes(self) -> int:
+        """Traffic over the interconnect due to migrations."""
+        return self.migrated_to_device_bytes + self.migrated_to_host_bytes
+
+
+class ManagedBuffer:
+    """One cudaMallocManaged-style allocation with per-page residency."""
+
+    def __init__(self, size_bytes: int, name: str = "") -> None:
+        if size_bytes <= 0:
+            raise ValueError(f"buffer size must be positive, got {size_bytes}")
+        self.size_bytes = size_bytes
+        self.name = name
+        self.npages = -(-size_bytes // PAGE_SIZE)
+        #: True = page currently resident in device memory.
+        self.on_device = np.zeros(self.npages, dtype=bool)
+        #: Populated (ever touched) pages; untouched pages migrate free.
+        self.populated = np.zeros(self.npages, dtype=bool)
+
+    def device_resident_bytes(self) -> int:
+        """Bytes currently occupying device memory."""
+        return int(self.on_device.sum()) * PAGE_SIZE
+
+    def __repr__(self) -> str:
+        return (
+            f"ManagedBuffer({self.name or 'anon'}, {self.size_bytes} B, "
+            f"{int(self.on_device.sum())}/{self.npages} on device)"
+        )
+
+
+class ExplicitDeviceBuffer:
+    """A plain device allocation (the explicit model's hipMalloc)."""
+
+    def __init__(self, size_bytes: int, name: str = "") -> None:
+        self.size_bytes = size_bytes
+        self.name = name
+
+
+class UVMSystem:
+    """A discrete GPU + host with software-managed unified memory."""
+
+    def __init__(self, config: Optional[UVMConfig] = None) -> None:
+        self.config = config if config is not None else default_uvm_config()
+        self.clock = SimClock()
+        self.counters = UVMCounters()
+        self._managed: List[ManagedBuffer] = []
+        self._explicit_device_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+
+    def malloc_managed(self, size_bytes: int, name: str = "") -> ManagedBuffer:
+        """cudaMallocManaged: pages materialise host-side on first touch."""
+        buffer = ManagedBuffer(size_bytes, name)
+        self._managed.append(buffer)
+        return buffer
+
+    def device_malloc(self, size_bytes: int, name: str = "") -> ExplicitDeviceBuffer:
+        """Explicit device allocation; fails beyond device capacity."""
+        if (
+            self._explicit_device_bytes + size_bytes
+            > self.config.device_memory_bytes
+        ):
+            raise DeviceOutOfMemoryError(
+                f"device allocation of {size_bytes} B exceeds "
+                f"{self.config.device_memory_bytes} B device memory"
+            )
+        self._explicit_device_bytes += size_bytes
+        return ExplicitDeviceBuffer(size_bytes, name)
+
+    def device_free(self, buffer: ExplicitDeviceBuffer) -> None:
+        """Release an explicit device allocation."""
+        self._explicit_device_bytes -= buffer.size_bytes
+
+    def device_bytes_in_use(self) -> int:
+        """Device memory consumed by managed residency + explicit buffers."""
+        managed = sum(b.device_resident_bytes() for b in self._managed)
+        return managed + self._explicit_device_bytes
+
+    # ------------------------------------------------------------------
+    # Explicit copies (the baseline the unified model competes with)
+    # ------------------------------------------------------------------
+
+    def memcpy(self, nbytes: int) -> float:
+        """One explicit host<->device copy over the link; returns ns."""
+        if nbytes < 0:
+            raise ValueError(f"negative copy size {nbytes}")
+        duration = nbytes / self.config.link_bandwidth_bytes_per_s * 1e9
+        self.clock.advance(duration)
+        return duration
+
+    # ------------------------------------------------------------------
+    # Managed access (fault + migration machinery)
+    # ------------------------------------------------------------------
+
+    def gpu_access(
+        self, buffer: ManagedBuffer, offset_bytes: int = 0,
+        size_bytes: Optional[int] = None,
+    ) -> float:
+        """GPU touches a managed range: migrate what is not on device.
+
+        Faults are serviced in driver batches; populated pages move over
+        the link, never-touched pages are simply mapped device-side
+        (first touch on GPU).  Returns the added fault+migration time.
+        """
+        first, count = self._page_range(buffer, offset_bytes, size_bytes)
+        sl = slice(first, first + count)
+        needed = ~buffer.on_device[sl]
+        n_needed = int(needed.sum())
+        if n_needed == 0:
+            return 0.0
+        migrate_pages = int((needed & buffer.populated[sl]).sum())
+
+        self._ensure_device_room(n_needed, exclude=buffer)
+
+        cfg = self.config
+        batches = -(-n_needed // cfg.gpu_fault_batch_pages)
+        time_ns = batches * cfg.gpu_fault_batch_ns
+        time_ns += migrate_pages * (
+            PAGE_SIZE / cfg.link_bandwidth_bytes_per_s * 1e9
+            + cfg.migration_per_page_ns
+        )
+        buffer.on_device[sl] = True
+        buffer.populated[sl] = True
+        self.counters.gpu_fault_batches += batches
+        self.counters.gpu_faulted_pages += n_needed
+        self.counters.migrated_to_device_bytes += migrate_pages * PAGE_SIZE
+        time_ns += self._self_evict(buffer)
+        self.clock.advance(time_ns)
+        return time_ns
+
+    def _self_evict(self, buffer: ManagedBuffer) -> float:
+        """Shed this buffer's own oldest pages past device capacity.
+
+        A single working set larger than device memory streams through
+        it: pages migrate in at the head and evict at the tail, so the
+        next pass re-faults everything (the oversubscription thrash the
+        paper's UVM references analyse).
+        """
+        over = self.device_bytes_in_use() // PAGE_SIZE - self.config.device_pages
+        if over <= 0:
+            return 0.0
+        resident = np.flatnonzero(buffer.on_device)
+        take = resident[: min(len(resident), over)]
+        if take.size == 0:
+            raise DeviceOutOfMemoryError("working set exceeds device + evictable")
+        buffer.on_device[take] = False
+        self.counters.evicted_bytes += int(take.size) * PAGE_SIZE
+        return (
+            take.size * PAGE_SIZE
+            / self.config.remote_access_bandwidth_bytes_per_s * 1e9
+        )
+
+    def cpu_access(
+        self, buffer: ManagedBuffer, offset_bytes: int = 0,
+        size_bytes: Optional[int] = None,
+    ) -> float:
+        """CPU touches a managed range: migrate device pages back."""
+        first, count = self._page_range(buffer, offset_bytes, size_bytes)
+        sl = slice(first, first + count)
+        on_device = buffer.on_device[sl]
+        n_back = int(on_device.sum())
+        cfg = self.config
+        time_ns = 0.0
+        if n_back:
+            time_ns += n_back * (
+                PAGE_SIZE / cfg.link_bandwidth_bytes_per_s * 1e9
+                + cfg.migration_per_page_ns
+            )
+            # CPU faults are per-migration-chunk events.
+            chunk_pages = UVM_MIGRATION_CHUNK_BYTES // PAGE_SIZE
+            faults = -(-n_back // chunk_pages)
+            time_ns += faults * cfg.cpu_fault_ns
+            self.counters.cpu_faults += faults
+            self.counters.migrated_to_host_bytes += n_back * PAGE_SIZE
+        buffer.on_device[sl] = False
+        buffer.populated[sl] = True
+        self.clock.advance(time_ns)
+        return time_ns
+
+    def prefetch(self, buffer: ManagedBuffer, to: Location) -> float:
+        """cudaMemPrefetchAsync: bulk migration without fault stalls."""
+        cfg = self.config
+        if to == "device":
+            pages = int((~buffer.on_device & buffer.populated).sum())
+            self._ensure_device_room(
+                int((~buffer.on_device).sum()), exclude=buffer
+            )
+            buffer.on_device[:] = True
+            self.counters.migrated_to_device_bytes += pages * PAGE_SIZE
+            self._self_evict(buffer)
+        elif to == "host":
+            pages = int(buffer.on_device.sum())
+            buffer.on_device[:] = False
+            self.counters.migrated_to_host_bytes += pages * PAGE_SIZE
+        else:
+            raise ValueError(f"unknown prefetch target {to!r}")
+        buffer.populated[:] = True
+        nbytes = pages * PAGE_SIZE
+        chunks = -(-max(nbytes, 1) // UVM_MIGRATION_CHUNK_BYTES)
+        time_ns = (
+            nbytes / cfg.link_bandwidth_bytes_per_s * 1e9
+            + chunks * cfg.prefetch_chunk_ns
+        )
+        self.clock.advance(time_ns)
+        return time_ns
+
+    def _ensure_device_room(self, pages_needed: int, exclude: ManagedBuffer) -> None:
+        """Evict LRU-ish pages of other buffers when the device is full.
+
+        This is the oversubscription support UPM lacks (Section 2.1):
+        the working set may exceed device memory at the price of
+        eviction traffic.
+        """
+        capacity = self.config.device_pages
+        in_use = self.device_bytes_in_use() // PAGE_SIZE
+        overflow = in_use + pages_needed - capacity
+        if overflow <= 0:
+            return
+        for victim in self._managed:
+            if overflow <= 0:
+                break
+            if victim is exclude:
+                continue
+            resident = np.flatnonzero(victim.on_device)
+            take = resident[: min(len(resident), overflow)]
+            if take.size == 0:
+                continue
+            victim.on_device[take] = False
+            self.counters.evicted_bytes += int(take.size) * PAGE_SIZE
+            self.clock.advance(
+                take.size * PAGE_SIZE
+                / self.config.remote_access_bandwidth_bytes_per_s * 1e9
+            )
+            overflow -= int(take.size)
+        # Any remaining overflow is shed from the accessed buffer itself
+        # as it streams (see _self_evict).
+
+    @staticmethod
+    def _page_range(buffer: ManagedBuffer, offset: int, size: Optional[int]):
+        if size is None:
+            size = buffer.size_bytes - offset
+        if offset < 0 or size <= 0 or offset + size > buffer.size_bytes:
+            raise ValueError("byte range escapes managed buffer")
+        first = offset // PAGE_SIZE
+        last = (offset + size - 1) // PAGE_SIZE
+        return first, last - first + 1
+
+    # ------------------------------------------------------------------
+    # Kernels
+    # ------------------------------------------------------------------
+
+    def run_gpu_kernel(
+        self,
+        buffers: Dict[ManagedBuffer, int],
+        compute_ns: float = 0.0,
+        prefetched: bool = False,
+    ) -> float:
+        """Run a GPU kernel reading/writing managed *buffers*.
+
+        *buffers* maps each buffer to the bytes the kernel streams from
+        it.  Unless *prefetched*, non-resident pages fault and migrate
+        inline — the UVM overhead the paper's Fig.-11-style comparisons
+        highlight.  Returns the kernel duration (the clock advances).
+        """
+        start = self.clock.now_ns
+        self.clock.advance(self.config.kernel_launch_ns)
+        for buffer in buffers:
+            if not prefetched:
+                self.gpu_access(buffer)
+        stream_bytes = sum(buffers.values())
+        memory_ns = stream_bytes / self.config.device_bandwidth_bytes_per_s * 1e9
+        self.clock.advance(max(memory_ns, compute_ns))
+        return self.clock.now_ns - start
+
+    def run_cpu_kernel(
+        self, buffers: Dict[ManagedBuffer, int], compute_ns: float = 0.0
+    ) -> float:
+        """Run a CPU phase over managed buffers (migrates device pages back)."""
+        start = self.clock.now_ns
+        for buffer in buffers:
+            self.cpu_access(buffer)
+        stream_bytes = sum(buffers.values())
+        memory_ns = stream_bytes / self.config.host_bandwidth_bytes_per_s * 1e9
+        self.clock.advance(max(memory_ns, compute_ns))
+        return self.clock.now_ns - start

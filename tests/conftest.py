@@ -1,0 +1,50 @@
+"""Shared fixtures: small simulated APUs sized for fast tests.
+
+The down-scaled configs keep the MI300A's topology and policies but
+shrink the HBM pool; the calibration note in
+:class:`repro.hw.config.PolicyModel` means IC-balance-sensitive tests
+should use the ``apu16`` (16 GiB) fixture.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hw import default_config, small_config
+from repro.runtime import APU, HipRuntime, make_apu
+
+
+@pytest.fixture
+def config():
+    """Full paper-calibrated MI300A config (no big state allocated)."""
+    return default_config()
+
+
+@pytest.fixture
+def apu() -> APU:
+    """A fresh 2 GiB APU with XNACK enabled (most permissive mode)."""
+    return make_apu(2, xnack=True)
+
+
+@pytest.fixture
+def apu_noxnack() -> APU:
+    """A fresh 2 GiB APU with XNACK disabled (the default mode)."""
+    return make_apu(2, xnack=False)
+
+
+@pytest.fixture
+def apu16() -> APU:
+    """A 16 GiB APU for experiments sensitive to free-list skew."""
+    return make_apu(16, xnack=True)
+
+
+@pytest.fixture
+def hip(apu) -> HipRuntime:
+    """HIP runtime over the 2 GiB XNACK-enabled APU."""
+    return HipRuntime(apu)
+
+
+@pytest.fixture
+def hip_noxnack(apu_noxnack) -> HipRuntime:
+    """HIP runtime over the XNACK-disabled APU."""
+    return HipRuntime(apu_noxnack)

@@ -1,0 +1,222 @@
+"""Unit tests for the Table 1 allocators (repro.core.allocators)."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocators import (
+    AllocatorKind,
+    allocator_table,
+    free_cost_ns,
+    hip_free_cost_ns,
+    hip_malloc_cost_ns,
+    malloc_cost_ns,
+    malloc_free_cost_ns,
+    pinned_alloc_cost_ns,
+    pinned_free_cost_ns,
+)
+from repro.core.address_space import (
+    GPU_ACCESS_ALWAYS,
+    GPU_ACCESS_NEVER,
+    GPU_ACCESS_XNACK,
+)
+from repro.core.fragments import average_fragment_bytes
+from repro.hw.config import GiB, KiB, MiB, PAGE_SIZE, default_config
+
+
+class TestMallocSemantics:
+    def test_on_demand_no_physical(self, apu):
+        buf = apu.memory.malloc(1 * MiB)
+        assert buf.on_demand
+        assert buf.vma.resident_bytes() == 0
+        assert apu.physical.used_bytes == 0
+
+    def test_gpu_access_policy(self, apu):
+        assert apu.memory.malloc(PAGE_SIZE).vma.gpu_access == GPU_ACCESS_XNACK
+
+    def test_not_pinned(self, apu):
+        assert not apu.memory.malloc(PAGE_SIZE).pinned
+
+
+class TestHipMallocSemantics:
+    def test_up_front_physical(self, apu):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        assert not buf.on_demand
+        assert buf.vma.resident_bytes() == 1 * MiB
+        assert apu.physical.used_bytes == 1 * MiB
+
+    def test_gpu_mapped_immediately(self, apu):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        assert buf.vma.gpu_valid.all()
+        assert not buf.vma.sys_valid.any()  # CPU PTEs are lazy
+
+    def test_large_fragments(self, apu):
+        buf = apu.memory.hip_malloc(4 * MiB)
+        assert average_fragment_bytes(buf.vma.fragment) >= 60 * KiB
+
+    def test_always_gpu_accessible(self, apu_noxnack):
+        buf = apu_noxnack.memory.hip_malloc(PAGE_SIZE)
+        assert buf.vma.gpu_access == GPU_ACCESS_ALWAYS
+
+
+class TestHipHostMallocSemantics:
+    def test_pinned_up_front(self, apu):
+        buf = apu.memory.hip_host_malloc(1 * MiB)
+        assert buf.pinned
+        assert buf.vma.resident_bytes() == 1 * MiB
+        assert buf.vma.gpu_valid.all()
+
+    def test_small_fragments(self, apu):
+        buf = apu.memory.hip_host_malloc(1 * MiB)
+        assert average_fragment_bytes(buf.vma.fragment) <= 2 * PAGE_SIZE
+
+
+class TestManagedSemantics:
+    def test_xnack_on_is_on_demand(self, apu):
+        buf = apu.memory.hip_malloc_managed(1 * MiB)
+        assert buf.on_demand
+        assert buf.vma.resident_bytes() == 0
+        assert buf.vma.gpu_access == GPU_ACCESS_ALWAYS
+
+    def test_xnack_off_is_up_front(self, apu_noxnack):
+        buf = apu_noxnack.memory.hip_malloc_managed(1 * MiB)
+        assert not buf.on_demand
+        assert buf.vma.resident_bytes() == 1 * MiB
+        assert buf.pinned
+
+
+class TestHostRegister:
+    def test_register_pins_and_maps(self, apu):
+        buf = apu.memory.malloc(1 * MiB)
+        apu.memory.host_register(buf)
+        assert buf.kind is AllocatorKind.MALLOC_REGISTERED
+        assert buf.pinned
+        assert not buf.on_demand
+        assert buf.vma.gpu_valid.all()
+        assert buf.vma.gpu_access == GPU_ACCESS_ALWAYS
+
+    def test_register_keeps_scattered_layout(self, apu):
+        buf = apu.memory.malloc(1 * MiB)
+        apu.memory.host_register(buf)
+        # malloc-like physical layout: small fragments, unlike hipMalloc.
+        assert average_fragment_bytes(buf.vma.fragment) < 16 * KiB
+
+    def test_register_requires_malloc(self, apu):
+        buf = apu.memory.hip_malloc(PAGE_SIZE)
+        with pytest.raises(ValueError):
+            apu.memory.host_register(buf)
+
+
+class TestStatics:
+    def test_managed_static_uncached(self, apu):
+        buf = apu.memory.managed_static(64 * KiB)
+        assert buf.vma.uncached
+        assert buf.vma.gpu_valid.all()
+
+    def test_static_host_gpu_invisible(self, apu):
+        buf = apu.memory.static_host(64 * KiB)
+        assert buf.vma.gpu_access == GPU_ACCESS_NEVER
+
+    def test_static_device(self, apu):
+        buf = apu.memory.static_device(64 * KiB)
+        assert buf.vma.gpu_valid.all()
+
+
+class TestFree:
+    def test_free_returns_physical(self, apu):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        apu.memory.free(buf)
+        assert apu.physical.used_bytes == 0
+        assert buf not in apu.memory.allocations
+
+    def test_free_after_faulting(self, apu):
+        buf = apu.memory.malloc(1 * MiB)
+        apu.faults.touch_range(buf.vma, 0, buf.npages, "cpu")
+        apu.memory.free(buf)
+        assert apu.physical.used_bytes == 0
+
+    def test_double_free_rejected(self, apu):
+        buf = apu.memory.malloc(PAGE_SIZE)
+        apu.memory.free(buf)
+        with pytest.raises(ValueError):
+            apu.memory.free(buf)
+
+    def test_live_bytes(self, apu):
+        apu.memory.hip_malloc(1 * MiB)
+        apu.memory.malloc(2 * MiB)
+        assert apu.memory.live_bytes() == 3 * MiB
+        assert apu.memory.live_bytes(AllocatorKind.HIP_MALLOC) == 1 * MiB
+
+
+class TestCostModels:
+    """Fig. 6 anchor points."""
+
+    def setup_method(self):
+        self.cfg = default_config()
+
+    def test_malloc_32b(self):
+        assert malloc_cost_ns(self.cfg, 32) == pytest.approx(14.0)
+
+    def test_malloc_1gib_about_6us(self):
+        assert malloc_cost_ns(self.cfg, 1 * GiB) == pytest.approx(6e3, rel=0.1)
+
+    def test_hip_malloc_flat_to_16kib(self):
+        assert hip_malloc_cost_ns(self.cfg, 2) == hip_malloc_cost_ns(self.cfg, 16 * KiB)
+        assert hip_malloc_cost_ns(self.cfg, 2) == pytest.approx(10e3)
+
+    def test_hip_malloc_1gib_about_37ms(self):
+        assert hip_malloc_cost_ns(self.cfg, 1 * GiB) == pytest.approx(37e6, rel=0.02)
+
+    def test_pinned_1gib_in_paper_band(self):
+        host = pinned_alloc_cost_ns(self.cfg, 1 * GiB, managed=False)
+        managed = pinned_alloc_cost_ns(self.cfg, 1 * GiB, managed=True)
+        assert 200e6 <= host <= 400e6
+        assert 200e6 <= managed <= 400e6
+
+    def test_free_faster_than_malloc_below_16mib(self):
+        for size in (1 * KiB, 1 * MiB, 8 * MiB):
+            assert malloc_free_cost_ns(self.cfg, size) < malloc_cost_ns(self.cfg, size)
+
+    def test_free_slower_than_malloc_above_32mib(self):
+        for size in (32 * MiB, 256 * MiB, 1 * GiB):
+            ratio = malloc_free_cost_ns(self.cfg, size) / malloc_cost_ns(self.cfg, size)
+            assert 4 <= ratio <= 9
+
+    def test_hip_free_crossover(self):
+        assert hip_free_cost_ns(self.cfg, 1 * MiB) < hip_malloc_cost_ns(self.cfg, 1 * MiB)
+        ratio = hip_free_cost_ns(self.cfg, 256 * MiB) / hip_malloc_cost_ns(
+            self.cfg, 256 * MiB
+        )
+        assert 15 <= ratio <= 25  # paper: up to 22x at 256 MiB
+
+    def test_pinned_free_band(self):
+        assert pinned_free_cost_ns(self.cfg, 16 * KiB) >= 220e3
+        assert pinned_free_cost_ns(self.cfg, 1 * GiB) == pytest.approx(67e6, rel=0.05)
+
+    def test_alloc_advances_clock(self, apu):
+        before = apu.clock.now_ns
+        apu.memory.hip_malloc(1 * MiB)
+        assert apu.clock.now_ns - before == pytest.approx(
+            hip_malloc_cost_ns(apu.config, 1 * MiB)
+        )
+
+    def test_free_cost_dispatch(self, apu):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        assert free_cost_ns(apu.config, buf) == hip_free_cost_ns(apu.config, 1 * MiB)
+
+
+class TestTable1:
+    def test_xnack_off(self):
+        rows = {r["allocator"]: r for r in allocator_table(xnack=False)}
+        assert not rows["malloc"]["gpu_access"]
+        assert rows["hipMallocManaged"]["physical_allocation"] == "up-front"
+        assert rows["hipMalloc"]["physical_allocation"] == "up-front"
+
+    def test_xnack_on(self):
+        rows = {r["allocator"]: r for r in allocator_table(xnack=True)}
+        assert rows["malloc"]["gpu_access"]
+        assert rows["malloc"]["physical_allocation"] == "on-demand"
+        assert rows["hipMallocManaged"]["physical_allocation"] == "on-demand"
+
+    def test_all_cpu_accessible(self):
+        for xnack in (False, True):
+            assert all(r["cpu_access"] for r in allocator_table(xnack))

@@ -1,0 +1,105 @@
+"""Application scaling and robustness tests.
+
+Complements test_apps.py: problem-size monotonicity, determinism across
+runs, XNACK wiring, and memory accounting consistency.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.apps.hotspot import Hotspot
+from repro.apps.nn import NearestNeighbor
+from repro.apps.srad import SradV1
+from repro.core.faults import GPUMemoryAccessError
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["hotspot", "srad_v1"])
+    def test_same_seed_same_everything(self, name):
+        app = ALL_APPS[name]()
+        params = {"hotspot": {"grid": 128, "iterations": 4},
+                  "srad_v1": {"dim": 128, "iterations": 3}}[name]
+        a = app.run("explicit", memory_gib=2, params=params)
+        b = app.run("explicit", memory_gib=2, params=params)
+        assert a.checksum == b.checksum
+        assert a.total_time_s == b.total_time_s
+        assert a.peak_memory_bytes == b.peak_memory_bytes
+
+
+class TestProblemScaling:
+    def test_hotspot_time_grows_with_grid(self):
+        app = Hotspot()
+        small = app.run("unified", memory_gib=2,
+                        params={"grid": 128, "iterations": 8})
+        big = app.run("unified", memory_gib=2,
+                      params={"grid": 512, "iterations": 8})
+        assert big.total_time_s > small.total_time_s
+        assert big.peak_memory_bytes > small.peak_memory_bytes
+
+    def test_hotspot_time_grows_with_iterations(self):
+        app = Hotspot()
+        few = app.run("unified", memory_gib=2,
+                      params={"grid": 128, "iterations": 4})
+        many = app.run("unified", memory_gib=2,
+                       params={"grid": 128, "iterations": 16})
+        assert many.compute_time_s > few.compute_time_s
+        # Memory does not depend on the iteration count.
+        assert many.peak_memory_bytes == few.peak_memory_bytes
+
+    def test_srad_iterations_scale_compute_only(self):
+        app = SradV1()
+        few = app.run("explicit", memory_gib=2,
+                      params={"dim": 128, "iterations": 2})
+        many = app.run("explicit", memory_gib=2,
+                       params={"dim": 128, "iterations": 8})
+        assert many.compute_time_s > 2 * few.compute_time_s
+        assert many.io_time_s == pytest.approx(few.io_time_s, rel=0.05)
+
+    def test_nn_memory_scales_with_records(self):
+        app = NearestNeighbor()
+        small = app.run("explicit", memory_gib=2,
+                        params={"records": 1 << 16, "k": 4})
+        big = app.run("explicit", memory_gib=2,
+                      params={"records": 1 << 18, "k": 4})
+        assert big.peak_memory_bytes > 2 * small.peak_memory_bytes
+
+
+class TestMemoryAccounting:
+    def test_explicit_roughly_double_unified(self):
+        """Merged duplicate buffers: explicit ~ 2x unified for the data-
+        duplication apps."""
+        app = Hotspot()
+        params = {"grid": 512, "iterations": 4}
+        explicit = app.run("explicit", memory_gib=2, params=params)
+        unified = app.run("unified", memory_gib=2, params=params)
+        ratio = explicit.peak_memory_bytes / unified.peak_memory_bytes
+        assert 1.3 <= ratio <= 2.2
+
+    def test_peak_memory_in_plausible_range(self):
+        app = Hotspot()
+        result = app.run("unified", memory_gib=2,
+                         params={"grid": 512, "iterations": 4})
+        data = 3 * 512 * 512 * 4  # temp + power + out
+        assert data <= result.peak_memory_bytes <= 2 * data
+
+
+class TestXNACKWiring:
+    def test_unified_variants_run_with_xnack(self):
+        for cls in ALL_APPS.values():
+            app = cls()
+            for variant in app.variants:
+                expected = variant != "explicit"
+                assert app.needs_xnack(variant) == expected, (app.name, variant)
+
+    def test_nn_unified_requires_xnack(self):
+        """nn's unified variant reads a malloc'd vector from the GPU —
+        impossible without XNACK (Table 1)."""
+        app = NearestNeighbor()
+
+        class NoXnack(NearestNeighbor):
+            def needs_xnack(self, variant):
+                return False
+
+        with pytest.raises(GPUMemoryAccessError):
+            NoXnack().run("unified", memory_gib=2,
+                          params={"records": 1 << 14, "k": 2})

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import pytest
+
+from repro.cli import COMMANDS, build_parser, list_experiments, main
+
+
+class TestParser:
+    def test_requires_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quick_flag(self):
+        args = build_parser().parse_args(["fig9", "--quick"])
+        assert args.quick
+        assert args.experiment == "fig9"
+
+    def test_app_selector(self):
+        args = build_parser().parse_args(["apps", "--app", "hotspot"])
+        assert args.app == "hotspot"
+
+
+class TestMenu:
+    def test_list_returns_zero(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig9" in out
+        assert "uvm" in out
+
+    def test_every_command_documented(self):
+        rows = "\n".join(list_experiments())
+        for name in COMMANDS:
+            if name == "fig11":
+                continue
+            assert name in rows
+
+    def test_unknown_experiment_errors(self, capsys):
+        assert main(["fig99"]) == 2
+        assert "unknown" in capsys.readouterr().err
+
+    def test_fig11_aliases_apps(self):
+        assert COMMANDS["fig11"] is COMMANDS["apps"]
+
+
+class TestCommandsRun:
+    """Smoke-run the cheap commands end to end (output goes to stdout)."""
+
+    @pytest.mark.parametrize("experiment", ["table1", "fig6", "fig7", "fig8"])
+    def test_model_backed_commands(self, experiment, capsys):
+        assert main([experiment]) == 0
+        out = capsys.readouterr().out
+        assert "===" in out
+
+    def test_fig9_quick(self, capsys):
+        assert main(["fig9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "hipMalloc" in out
+
+    def test_memcpy_quick(self, capsys):
+        assert main(["memcpy", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "hipMemcpy" in out
+
+    def test_uvm_quick(self, capsys):
+        assert main(["uvm", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "upm/MI300A" in out
+
+    def test_apps_single_quick(self, capsys):
+        assert main(["apps", "--quick", "--app", "srad_v1"]) == 0
+        out = capsys.readouterr().out
+        assert "srad_v1" in out
+
+    def test_apps_unknown_app(self):
+        with pytest.raises(SystemExit):
+            main(["apps", "--app", "lud"])

@@ -1,0 +1,114 @@
+"""Unit tests for the simulated clock (repro.hw.clock)."""
+
+import pytest
+
+from repro.hw.clock import SimClock, Stopwatch
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now_ns == 0.0
+
+    def test_advance_accumulates(self):
+        clock = SimClock()
+        clock.advance(100.0)
+        clock.advance(50.5)
+        assert clock.now_ns == pytest.approx(150.5)
+
+    def test_now_s_converts(self):
+        clock = SimClock()
+        clock.advance(2.5e9)
+        assert clock.now_s == pytest.approx(2.5)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1.0)
+
+    def test_advance_to_future(self):
+        clock = SimClock()
+        clock.advance_to(500.0)
+        assert clock.now_ns == 500.0
+
+    def test_advance_to_past_is_noop(self):
+        clock = SimClock()
+        clock.advance(1000.0)
+        clock.advance_to(500.0)
+        assert clock.now_ns == 1000.0
+
+    def test_region_attributes_time(self):
+        clock = SimClock()
+        with clock.region("compute"):
+            clock.advance(300.0)
+        clock.advance(700.0)
+        assert clock.region_ns("compute") == pytest.approx(300.0)
+
+    def test_regions_accumulate_across_entries(self):
+        clock = SimClock()
+        for _ in range(3):
+            with clock.region("io"):
+                clock.advance(10.0)
+        assert clock.region_ns("io") == pytest.approx(30.0)
+
+    def test_nested_regions_count_both(self):
+        clock = SimClock()
+        with clock.region("outer"):
+            clock.advance(5.0)
+            with clock.region("inner"):
+                clock.advance(20.0)
+        assert clock.region_ns("inner") == pytest.approx(20.0)
+        assert clock.region_ns("outer") == pytest.approx(25.0)
+
+    def test_unknown_region_is_zero(self):
+        assert SimClock().region_ns("nope") == 0.0
+
+    def test_regions_snapshot(self):
+        clock = SimClock()
+        with clock.region("a"):
+            clock.advance(1.0)
+        snap = clock.regions()
+        snap["a"] = 999.0
+        assert clock.region_ns("a") == pytest.approx(1.0)
+
+    def test_reset(self):
+        clock = SimClock()
+        with clock.region("a"):
+            clock.advance(10.0)
+        clock.reset()
+        assert clock.now_ns == 0.0
+        assert clock.region_ns("a") == 0.0
+
+    def test_reset_inside_region_rejected(self):
+        clock = SimClock()
+        with pytest.raises(RuntimeError):
+            with clock.region("a"):
+                clock.reset()
+
+
+class TestStopwatch:
+    def test_measures_elapsed(self):
+        clock = SimClock()
+        sw = Stopwatch(clock)
+        sw.start()
+        clock.advance(123.0)
+        assert sw.stop_ns() == pytest.approx(123.0)
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch(SimClock()).stop_ns()
+
+    def test_peek_keeps_running(self):
+        clock = SimClock()
+        sw = Stopwatch(clock)
+        sw.start()
+        clock.advance(10.0)
+        assert sw.peek_ns() == pytest.approx(10.0)
+        clock.advance(10.0)
+        assert sw.stop_ns() == pytest.approx(20.0)
+
+    def test_stop_clears_start(self):
+        clock = SimClock()
+        sw = Stopwatch(clock)
+        sw.start()
+        sw.stop_ns()
+        with pytest.raises(RuntimeError):
+            sw.stop_ns()

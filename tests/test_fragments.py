@@ -1,0 +1,111 @@
+"""Unit tests for the amdgpu fragment scan (repro.core.fragments)."""
+
+import numpy as np
+import pytest
+
+from repro.core.fragments import (
+    average_fragment_bytes,
+    compute_fragments,
+    contiguous_runs,
+    distinct_fragments,
+    fragment_histogram,
+)
+
+
+class TestContiguousRuns:
+    def test_empty(self):
+        assert contiguous_runs(np.array([], dtype=np.int64)) == []
+
+    def test_single_run(self):
+        assert contiguous_runs(np.arange(5)) == [(0, 5)]
+
+    def test_all_isolated(self):
+        assert contiguous_runs(np.array([0, 2, 4])) == [(0, 1), (1, 1), (2, 1)]
+
+    def test_mixed(self):
+        frames = np.array([10, 11, 12, 20, 30, 31])
+        assert contiguous_runs(frames) == [(0, 3), (3, 1), (4, 2)]
+
+
+class TestComputeFragments:
+    def test_scattered_pages_are_exponent_zero(self):
+        frames = np.array([5, 99, 17, 1000])
+        assert (compute_fragments(frames, base_vpn=0) == 0).all()
+
+    def test_aligned_contiguous_block(self):
+        # 16 pages, VA and PA both 16-aligned: one exponent-4 fragment.
+        frames = np.arange(64, 80)
+        exps = compute_fragments(frames, base_vpn=16)
+        assert (exps == 4).all()
+
+    def test_unaligned_physical_run_decomposes(self):
+        # Physically contiguous but starting at an odd frame: the first
+        # page cannot join a larger block; the aligned middle can.
+        frames = np.arange(7, 7 + 8)
+        exps = compute_fragments(frames, base_vpn=7)
+        assert exps[0] == 0  # pfn 7 has no trailing zeros
+        assert exps.max() >= 2  # pfn 8..11 forms an aligned 4-page block
+
+    def test_odd_va_pa_delta_prevents_fragments(self):
+        # VA and PA alignments can never coincide when their delta is
+        # odd, so a physically contiguous run still yields single pages.
+        frames = np.arange(7, 7 + 8)
+        exps = compute_fragments(frames, base_vpn=0)
+        assert (exps == 0).all()
+
+    def test_virtual_alignment_limits(self):
+        # PA aligned, but VA base odd: blocks limited by VPN alignment.
+        frames = np.arange(64, 72)
+        exps = compute_fragments(frames, base_vpn=1)
+        assert exps[0] == 0
+
+    def test_aligned_pair(self):
+        frames = np.array([10, 11])  # pfn 10 is 2-aligned
+        exps = compute_fragments(frames, base_vpn=2)
+        assert (exps == 1).all()
+
+    def test_unaligned_pair_stays_single_pages(self):
+        frames = np.array([11, 12])
+        exps = compute_fragments(frames, base_vpn=2)
+        assert (exps == 0).all()
+
+    def test_max_exponent_cap(self):
+        frames = np.arange(0, 64)
+        exps = compute_fragments(frames, base_vpn=0, max_exponent=3)
+        assert exps.max() == 3
+
+    def test_block_coverage_is_consistent(self):
+        # Every aligned block of 2**e pages shares one exponent.
+        frames = np.arange(0, 128)
+        exps = compute_fragments(frames, base_vpn=0)
+        for start in range(0, 128, 1 << int(exps[0])):
+            block = exps[start : start + (1 << int(exps[start]))]
+            assert (block == block[0]).all()
+
+    def test_empty(self):
+        assert len(compute_fragments(np.array([], dtype=np.int64), 0)) == 0
+
+
+class TestAggregates:
+    def test_fragment_histogram(self):
+        exps = np.array([0, 0, 1, 1, 4])
+        assert fragment_histogram(exps) == {0: 2, 1: 2, 4: 1}
+
+    def test_distinct_fragments_single_pages(self):
+        assert distinct_fragments(np.zeros(10, dtype=np.int8)) == 10
+
+    def test_distinct_fragments_blocks(self):
+        # 16 pages as one exponent-4 block -> 1 fragment.
+        assert distinct_fragments(np.full(16, 4, dtype=np.int8)) == 1
+
+    def test_distinct_fragments_mixed(self):
+        exps = np.concatenate([np.full(16, 4), np.zeros(4)]).astype(np.int8)
+        assert distinct_fragments(exps) == 5
+
+    def test_average_fragment_bytes(self):
+        exps = np.full(16, 4, dtype=np.int8)
+        assert average_fragment_bytes(exps) == pytest.approx(64 * 1024)
+        assert average_fragment_bytes(np.zeros(4, dtype=np.int8)) == 4096.0
+
+    def test_average_fragment_empty(self):
+        assert average_fragment_bytes(np.array([], dtype=np.int8)) == 0.0

@@ -1,0 +1,101 @@
+"""Unit tests for HBM channel mapping and balance metrics (repro.hw.hbm)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import HBMGeometry, PAGE_SIZE, default_config
+from repro.hw.hbm import (
+    HBMSubsystem,
+    channel_balance,
+    effective_slice_hit_fraction,
+)
+
+
+@pytest.fixture
+def hbm():
+    return HBMSubsystem(default_config().hbm)
+
+
+class TestChannelMapping:
+    def test_stack_interleaves_per_page(self, hbm):
+        # One 4 KiB page per stack, round robin.
+        for frame in range(16):
+            assert hbm.stack_of_frame(frame) == frame % 8
+
+    def test_channel_in_range(self, hbm):
+        frames = np.arange(4096)
+        channels = hbm.channels_of_frames(frames)
+        assert channels.min() >= 0
+        assert channels.max() < 128
+
+    def test_contiguous_range_covers_all_channels_evenly(self, hbm):
+        frames = np.arange(128 * 4)  # four full rotations
+        hist = hbm.channel_histogram(frames)
+        assert (hist == 4 * PAGE_SIZE).all()
+
+    def test_channel_is_periodic_in_frame(self, hbm):
+        # With one page per interleave unit, channel(frame) has period
+        # stacks * lanes = 128.
+        for frame in (0, 5, 77):
+            assert hbm.channel_of_frame(frame) == hbm.channel_of_frame(frame + 128)
+
+    def test_vectorised_matches_scalar(self, hbm):
+        frames = np.array([0, 1, 7, 8, 129, 1000, 65535])
+        vec = hbm.channels_of_frames(frames)
+        scalar = [hbm.channel_of_frame(int(f)) for f in frames]
+        assert list(vec) == scalar
+
+    def test_capacity(self, hbm):
+        assert hbm.capacity_bytes == 128 << 30
+
+    def test_interleave_must_be_page_multiple(self):
+        geo = HBMGeometry(interleave_bytes=1000)
+        with pytest.raises(ValueError):
+            HBMSubsystem(geo)
+
+
+class TestTraffic:
+    def test_record_and_reset(self, hbm):
+        hbm.record_traffic([0, 1, 2], 100)
+        assert hbm.traffic_bytes().sum() == 300
+        hbm.reset_traffic()
+        assert hbm.traffic_bytes().sum() == 0
+
+    def test_traffic_lands_on_mapped_channel(self, hbm):
+        hbm.record_traffic([0], 64)
+        traffic = hbm.traffic_bytes()
+        assert traffic[hbm.channel_of_frame(0)] == 64
+        assert traffic.sum() == 64
+
+
+class TestBalanceMetrics:
+    def test_uniform_histogram_is_balanced(self):
+        assert channel_balance(np.full(128, 1000)) == pytest.approx(1.0)
+
+    def test_single_channel_is_maximally_unbalanced(self):
+        hist = np.zeros(128)
+        hist[0] = 1000
+        assert channel_balance(hist) == pytest.approx(1 / 128)
+
+    def test_empty_histogram_is_balanced(self):
+        assert channel_balance(np.zeros(128)) == 1.0
+
+    def test_slice_hit_fraction_uniform_fits(self):
+        hist = np.full(128, 1 << 20)  # 1 MiB per channel, 2 MiB slices
+        assert effective_slice_hit_fraction(hist, 2 << 20) == pytest.approx(1.0)
+
+    def test_slice_hit_fraction_uniform_double(self):
+        hist = np.full(128, 4 << 20)  # 4 MiB per channel, 2 MiB slices
+        assert effective_slice_hit_fraction(hist, 2 << 20) == pytest.approx(0.5)
+
+    def test_slice_hit_fraction_biased_lower_than_uniform(self):
+        total = 128 * (4 << 20)
+        uniform = np.full(128, total // 128)
+        biased = np.zeros(128, dtype=np.int64)
+        biased[:8] = total // 8
+        cap = 2 << 20
+        assert effective_slice_hit_fraction(biased, cap) < \
+            effective_slice_hit_fraction(uniform, cap)
+
+    def test_slice_hit_fraction_empty(self):
+        assert effective_slice_hit_fraction(np.zeros(128), 2 << 20) == 1.0

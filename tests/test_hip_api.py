@@ -1,0 +1,232 @@
+"""Tests for the HIP API facade and kernel engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.allocators import AllocatorKind
+from repro.core.faults import GPUMemoryAccessError
+from repro.hw.config import KiB, MiB
+from repro.runtime.hip import HipError
+from repro.runtime.kernels import (
+    BufferAccess,
+    KERNEL_LAUNCH_OVERHEAD_NS,
+    KernelSpec,
+)
+
+
+class TestAllocationAPI:
+    def test_hipmalloc_kind(self, hip):
+        assert hip.hipMalloc(4096).kind is AllocatorKind.HIP_MALLOC
+
+    def test_hiphostmalloc_kind(self, hip):
+        assert hip.hipHostMalloc(4096).kind is AllocatorKind.HIP_HOST_MALLOC
+
+    def test_managed_kind(self, hip):
+        assert hip.hipMallocManaged(4096).kind is AllocatorKind.HIP_MALLOC_MANAGED
+
+    def test_host_register(self, hip):
+        buf = hip.malloc(4096)
+        hip.hipHostRegister(buf)
+        assert buf.kind is AllocatorKind.MALLOC_REGISTERED
+
+    def test_hipfree(self, hip):
+        buf = hip.hipMalloc(4096)
+        hip.hipFree(buf)
+        assert buf not in hip.apu.memory.allocations
+
+    def test_hipmemgetinfo(self, hip):
+        free0, total = hip.hipMemGetInfo()
+        hip.hipMalloc(4 * MiB)
+        free1, _ = hip.hipMemGetInfo()
+        assert free0 - free1 == 4 * MiB
+        assert total == hip.apu.config.memory_capacity_bytes
+
+    def test_array_allocators(self, hip):
+        for allocator, kind in [
+            ("malloc", AllocatorKind.MALLOC),
+            ("hipMalloc", AllocatorKind.HIP_MALLOC),
+            ("hipHostMalloc", AllocatorKind.HIP_HOST_MALLOC),
+            ("hipMallocManaged", AllocatorKind.HIP_MALLOC_MANAGED),
+            ("malloc+register", AllocatorKind.MALLOC_REGISTERED),
+            ("managed_static", AllocatorKind.MANAGED_STATIC),
+        ]:
+            arr = hip.array(16, np.float32, allocator)
+            assert arr.allocation.kind is kind
+
+    def test_array_unknown_allocator(self, hip):
+        with pytest.raises(HipError):
+            hip.array(16, np.float32, "cudaMalloc")
+
+
+class TestMemcpy:
+    def test_moves_payload(self, hip):
+        a = hip.array(64, np.float32, "hipHostMalloc")
+        b = hip.array(64, np.float32, "hipMalloc")
+        a.np[:] = np.arange(64)
+        hip.hipMemcpy(b, a)
+        assert np.array_equal(b.np, a.np)
+
+    def test_partial_with_offsets(self, hip):
+        a = hip.array(64, np.float32, "hipMalloc")
+        b = hip.array(64, np.float32, "hipMalloc")
+        a.np[:] = np.arange(64)
+        hip.hipMemcpy(b, a, nbytes=16 * 4, dst_offset=32 * 4, src_offset=0)
+        assert np.array_equal(b.np[32:48], a.np[:16])
+        assert (b.np[:32] == 0).all()
+
+    def test_oversized_copy_rejected(self, hip):
+        a = hip.array(16, np.float32, "hipMalloc")
+        b = hip.array(8, np.float32, "hipMalloc")
+        with pytest.raises(HipError):
+            hip.hipMemcpy(b, a, nbytes=16 * 4)
+
+    def test_sync_copy_advances_clock(self, hip):
+        a = hip.hipMalloc(1 * MiB)
+        b = hip.hipMalloc(1 * MiB)
+        before = hip.apu.clock.now_ns
+        hip.hipMemcpy(b, a, 1 * MiB)
+        assert hip.apu.clock.now_ns > before
+
+    def test_async_copy_defers(self, hip):
+        a = hip.hipMalloc(64 * KiB)
+        b = hip.hipMalloc(64 * KiB)
+        hip.apu.touch(a, "cpu")
+        hip.apu.touch(b, "cpu")
+        stream = hip.hipStreamCreate()
+        before = hip.apu.clock.now_ns
+        hip.hipMemcpyAsync(b, a, 64 * KiB, stream=stream)
+        assert hip.apu.clock.now_ns == before  # host did not block
+        hip.hipStreamSynchronize(stream)
+        assert hip.apu.clock.now_ns > before
+
+    def test_sdma_flag_changes_speed(self, apu):
+        from repro.runtime.hip import HipRuntime
+
+        fast = HipRuntime(apu, sdma_enabled=False)
+        a = fast.hipMalloc(16 * MiB)
+        h = fast.malloc(16 * MiB)
+        fast.apu.touch(a, "cpu")
+        fast.apu.touch(h, "cpu")
+        t0 = apu.clock.now_ns
+        fast.hipMemcpy(a, h, 16 * MiB)
+        no_sdma_time = apu.clock.now_ns - t0
+        fast.sdma_enabled = True
+        t0 = apu.clock.now_ns
+        fast.hipMemcpy(a, h, 16 * MiB)
+        sdma_time = apu.clock.now_ns - t0
+        assert sdma_time > 5 * no_sdma_time
+
+
+class TestKernels:
+    def test_launch_is_async(self, hip):
+        buf = hip.hipMalloc(1 * MiB)
+        spec = KernelSpec("k", [BufferAccess(buf, "read")])
+        before = hip.apu.clock.now_ns
+        result = hip.launchKernel(spec)
+        assert hip.apu.clock.now_ns - before == pytest.approx(
+            KERNEL_LAUNCH_OVERHEAD_NS
+        )
+        assert result.end_ns > result.start_ns
+
+    def test_device_synchronize_waits(self, hip):
+        buf = hip.hipMalloc(16 * MiB)
+        result = hip.launchKernel(KernelSpec("k", [BufferAccess(buf, "read")]))
+        hip.hipDeviceSynchronize()
+        assert hip.apu.clock.now_ns >= result.end_ns
+
+    def test_compute_bound_kernel(self, hip):
+        buf = hip.hipMalloc(4096)
+        spec = KernelSpec("k", [BufferAccess(buf, "read")], compute_ns=1e6)
+        result = hip.launchKernel(spec)
+        assert result.duration_ns >= 1e6
+
+    def test_memory_bound_kernel_time(self, hip):
+        buf = hip.hipMalloc(36 * MiB)
+        result = hip.launchKernel(KernelSpec("k", [BufferAccess(buf, "read")]))
+        expected = 36 * MiB / 3.6e12 * 1e9
+        assert result.memory_ns == pytest.approx(expected, rel=0.05)
+
+    def test_readwrite_counts_double(self, hip):
+        buf = hip.hipMalloc(16 * MiB)
+        read = hip.launchKernel(KernelSpec("r", [BufferAccess(buf, "read")]))
+        rw = hip.launchKernel(KernelSpec("rw", [BufferAccess(buf, "readwrite")]))
+        assert rw.memory_ns == pytest.approx(2 * read.memory_ns, rel=0.01)
+
+    def test_tlb_misses_counted(self, hip):
+        buf = hip.hipMalloc(16 * MiB)
+        result = hip.launchKernel(
+            KernelSpec("k", [BufferAccess(buf, "read", passes=10)])
+        )
+        assert result.tlb_misses > 0
+        assert hip.apu.gpu.counters.tlb_misses >= result.tlb_misses
+
+    def test_gpu_fault_time_charged(self, hip):
+        buf = hip.malloc(4 * MiB)  # on-demand, XNACK on
+        result = hip.launchKernel(KernelSpec("k", [BufferAccess(buf, "read")]))
+        assert result.fault_ns > 0
+
+    def test_gpu_illegal_access_raises(self, hip_noxnack):
+        buf = hip_noxnack.malloc(4096)
+        with pytest.raises(GPUMemoryAccessError):
+            hip_noxnack.launchKernel(KernelSpec("k", [BufferAccess(buf, "read")]))
+
+    def test_cpu_kernel_synchronous(self, hip):
+        buf = hip.hipMalloc(16 * MiB)
+        before = hip.apu.clock.now_ns
+        result = hip.runCpuKernel(
+            KernelSpec("k", [BufferAccess(buf, "read")]), threads=4
+        )
+        assert hip.apu.clock.now_ns == pytest.approx(result.end_ns)
+        assert result.duration_ns > 0
+
+    def test_cpu_threads_scale_bandwidth(self, hip):
+        buf = hip.hipMalloc(64 * MiB)
+        hip.apu.touch(buf, "cpu")
+        one = hip.runCpuKernel(KernelSpec("k", [BufferAccess(buf, "read")]), 1)
+        many = hip.runCpuKernel(KernelSpec("k", [BufferAccess(buf, "read")]), 24)
+        assert many.memory_ns < one.memory_ns
+
+    def test_latency_pattern(self, hip):
+        buf = hip.hipMalloc(1 * MiB)
+        stream_res = hip.launchKernel(
+            KernelSpec("s", [BufferAccess(buf, "read", "stream")])
+        )
+        latency_res = hip.launchKernel(
+            KernelSpec("l", [BufferAccess(buf, "read", "latency")])
+        )
+        assert latency_res.memory_ns > stream_res.memory_ns
+
+    def test_touch_pattern_charges_faults_only(self, hip):
+        buf = hip.malloc(1 * MiB)
+        result = hip.launchKernel(
+            KernelSpec("t", [BufferAccess(buf, "read", "touch")])
+        )
+        assert result.memory_ns == 0.0
+        assert result.fault_ns > 0
+
+    def test_kernel_counter(self, hip):
+        buf = hip.hipMalloc(4096)
+        hip.launchKernel(KernelSpec("a", [BufferAccess(buf, "read")]))
+        hip.launchKernel(KernelSpec("b", [BufferAccess(buf, "read")]))
+        assert hip.apu.gpu.counters.kernels_launched == 2
+
+
+class TestStreamsViaAPI:
+    def test_event_ordering(self, hip):
+        buf = hip.hipMalloc(36 * MiB)
+        s1 = hip.hipStreamCreate("producer")
+        s2 = hip.hipStreamCreate("consumer")
+        r1 = hip.launchKernel(KernelSpec("p", [BufferAccess(buf, "write")]), s1)
+        event = hip.hipEventCreate()
+        hip.hipEventRecord(event, s1)
+        hip.hipStreamWaitEvent(s2, event)
+        r2 = hip.launchKernel(KernelSpec("c", [BufferAccess(buf, "read")]), s2)
+        assert r2.start_ns >= r1.end_ns
+
+    def test_independent_streams_overlap(self, hip):
+        a = hip.hipMalloc(36 * MiB)
+        b = hip.hipMalloc(36 * MiB)
+        s1, s2 = hip.hipStreamCreate(), hip.hipStreamCreate()
+        r1 = hip.launchKernel(KernelSpec("k1", [BufferAccess(a, "read")]), s1)
+        r2 = hip.launchKernel(KernelSpec("k2", [BufferAccess(b, "read")]), s2)
+        assert r2.start_ns < r1.end_ns  # concurrent, not serialised

@@ -1,0 +1,170 @@
+"""Deeper tests of the kernel execution engine (repro.runtime.kernels)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import KiB, MiB, PAGE_SIZE
+from repro.runtime.kernels import (
+    BufferAccess,
+    KERNEL_LAUNCH_OVERHEAD_NS,
+    KernelEngine,
+    KernelSpec,
+)
+
+
+@pytest.fixture
+def engine(apu):
+    return KernelEngine(apu)
+
+
+class TestBufferAccess:
+    def test_resolved_size_defaults_to_buffer(self, apu):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        access = BufferAccess(buf, "read")
+        assert access.resolved_size == 1 * MiB
+
+    def test_resolved_size_with_offset(self, apu):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        access = BufferAccess(buf, "read", offset_bytes=256 * KiB)
+        assert access.resolved_size == 768 * KiB
+
+    def test_bytes_moved_modes(self, apu):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        assert BufferAccess(buf, "read").bytes_moved == 1 * MiB
+        assert BufferAccess(buf, "write").bytes_moved == 1 * MiB
+        assert BufferAccess(buf, "readwrite").bytes_moved == 2 * MiB
+        assert BufferAccess(buf, "read", passes=3).bytes_moved == 3 * MiB
+
+
+class TestSubRangeExecution:
+    def test_gpu_kernel_touches_only_accessed_pages(self, apu, engine):
+        buf = apu.memory.malloc(64 * PAGE_SIZE)
+        spec = KernelSpec(
+            "partial",
+            [BufferAccess(buf, "read", offset_bytes=16 * PAGE_SIZE,
+                          size_bytes=8 * PAGE_SIZE)],
+        )
+        engine.run_gpu(spec)
+        assert buf.vma.gpu_valid[16:24].all()
+        assert not buf.vma.gpu_valid[:16].any()
+
+    def test_tlb_misses_scale_with_range(self, apu, engine):
+        # Both ranges exceed the 32-entry L1 TLB reach (64 KiB fragments
+        # -> 2 MiB), so each pass thrashes and misses scale linearly.
+        buf = apu.memory.hip_malloc(16 * MiB)
+        small = engine.run_gpu(
+            KernelSpec("s", [BufferAccess(buf, "read", size_bytes=4 * MiB,
+                                          passes=10)])
+        )
+        large = engine.run_gpu(
+            KernelSpec("l", [BufferAccess(buf, "read", passes=10)])
+        )
+        assert large.tlb_misses == pytest.approx(4 * small.tlb_misses, rel=0.1)
+
+    def test_tlb_reach_cliff(self, apu, engine):
+        # Below the TLB reach only compulsory misses occur; above it
+        # every pass re-misses — the classic cyclic-LRU cliff.
+        buf = apu.memory.hip_malloc(4 * MiB)
+        fits = engine.run_gpu(
+            KernelSpec("f", [BufferAccess(buf, "read", size_bytes=1 * MiB,
+                                          passes=10)])
+        )
+        thrash = engine.run_gpu(
+            KernelSpec("t", [BufferAccess(buf, "read", passes=10)])
+        )
+        assert fits.tlb_misses == 16  # compulsory only (16 fragments)
+        assert thrash.tlb_misses == 640  # 64 fragments x 10 passes
+
+    def test_multiple_accesses_sum_memory_time(self, apu, engine):
+        a = apu.memory.hip_malloc(16 * MiB)
+        b = apu.memory.hip_malloc(16 * MiB)
+        single = engine.run_gpu(KernelSpec("1", [BufferAccess(a, "read")]))
+        double = engine.run_gpu(
+            KernelSpec("2", [BufferAccess(a, "read"), BufferAccess(b, "read")])
+        )
+        assert double.memory_ns == pytest.approx(2 * single.memory_ns, rel=0.01)
+
+
+class TestTimingComposition:
+    def test_duration_is_fault_plus_max(self, apu, engine):
+        buf = apu.memory.malloc(4 * MiB)
+        spec = KernelSpec("k", [BufferAccess(buf, "read")], compute_ns=5e6)
+        result = engine.run_gpu(spec)
+        assert result.duration_ns == pytest.approx(
+            result.fault_ns + max(result.memory_ns, result.compute_ns)
+        )
+
+    def test_compute_hides_memory(self, apu, engine):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        spec = KernelSpec("k", [BufferAccess(buf, "read")], compute_ns=1e9)
+        result = engine.run_gpu(spec)
+        assert result.duration_ns == pytest.approx(1e9)
+
+    def test_cpu_kernel_reports_no_tlb_misses(self, apu, engine):
+        # The GPU TLB-miss counter is a GPU-profiler observable.
+        buf = apu.memory.hip_malloc(1 * MiB)
+        result = engine.run_cpu(KernelSpec("k", [BufferAccess(buf, "read")]))
+        assert result.tlb_misses == 0
+
+    def test_gpu_results_report_stream_window(self, apu, engine):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        result = engine.run_gpu(KernelSpec("k", [BufferAccess(buf, "read")]))
+        assert result.end_ns - result.start_ns == pytest.approx(
+            result.duration_ns
+        )
+
+    def test_empty_kernel_still_pays_launch(self, apu, engine):
+        before = apu.clock.now_ns
+        result = engine.run_gpu(KernelSpec("noop"))
+        assert apu.clock.now_ns - before == pytest.approx(
+            KERNEL_LAUNCH_OVERHEAD_NS
+        )
+        assert result.memory_ns == 0.0
+
+
+class TestLatencyPattern:
+    def test_explicit_access_count(self, apu, engine):
+        buf = apu.memory.hip_malloc(1 * MiB)
+        few = engine.run_gpu(
+            KernelSpec("few", [BufferAccess(buf, "read", "latency",
+                                            accesses=100)])
+        )
+        many = engine.run_gpu(
+            KernelSpec("many", [BufferAccess(buf, "read", "latency",
+                                             accesses=10_000)])
+        )
+        assert many.memory_ns == pytest.approx(100 * few.memory_ns, rel=0.01)
+
+    def test_cpu_latency_scales_with_threads(self, apu, engine):
+        buf = apu.memory.hip_malloc(4 * MiB)
+        apu.touch(buf, "cpu")
+        spec = KernelSpec("t", [BufferAccess(buf, "read", "latency")])
+        one = engine.run_cpu(spec, threads=1)
+        eight = engine.run_cpu(spec, threads=8)
+        assert eight.memory_ns == pytest.approx(one.memory_ns / 8, rel=0.01)
+
+    def test_uncached_latency_pattern(self, apu, engine):
+        managed = apu.memory.managed_static(1 * MiB)
+        normal = apu.memory.hip_malloc(1 * MiB)
+        slow = engine.run_gpu(
+            KernelSpec("m", [BufferAccess(managed, "read", "latency")])
+        )
+        fast = engine.run_gpu(
+            KernelSpec("n", [BufferAccess(normal, "read", "latency")])
+        )
+        assert slow.memory_ns > fast.memory_ns
+
+
+class TestCounterSideEffects:
+    def test_traffic_counters(self, apu, engine):
+        buf = apu.memory.hip_malloc(2 * MiB)
+        engine.run_gpu(
+            KernelSpec("k", [BufferAccess(buf, "readwrite", passes=2)])
+        )
+        assert apu.gpu.counters.bytes_read == 4 * MiB
+        assert apu.gpu.counters.bytes_written == 4 * MiB
+
+    def test_fault_counters_attributed_to_gpu(self, apu, engine):
+        buf = apu.memory.malloc(1 * MiB)
+        engine.run_gpu(KernelSpec("k", [BufferAccess(buf, "read")]))
+        assert apu.faults.counters.gpu_major_pages == 256

@@ -1,0 +1,112 @@
+"""Tests for the multi-APU node model (repro.hw.node)."""
+
+import pytest
+
+from repro.hw.config import MiB
+from repro.hw.node import MI300ANode, NodeConfig
+
+
+@pytest.fixture
+def node():
+    return MI300ANode(apu_memory_gib=1, xnack=True)
+
+
+class TestTopology:
+    def test_four_apus_fully_connected(self, node):
+        assert node.config.apus_per_node == 4
+        for a in range(4):
+            for b in range(4):
+                if a != b:
+                    assert node.hops(a, b) == 1
+
+    def test_apus_created_lazily_and_cached(self, node):
+        apu0 = node.apu(0)
+        assert node.apu(0) is apu0
+
+    def test_apus_are_independent(self, node):
+        apu0, apu1 = node.apu(0), node.apu(1)
+        apu0.memory.hip_malloc(4 * MiB)
+        assert apu1.physical.used_bytes == 0
+        assert apu0.clock is not apu1.clock
+
+    def test_index_bounds(self, node):
+        with pytest.raises(IndexError):
+            node.apu(4)
+        with pytest.raises(IndexError):
+            node.apu(-1)
+
+
+class TestBinding:
+    def test_bind_hides_other_apus(self, node):
+        node.bind(2)
+        node.apu(2)  # visible
+        with pytest.raises(PermissionError):
+            node.apu(0)
+
+    def test_unbind_restores(self, node):
+        node.bind(1)
+        node.unbind()
+        node.apu(0)  # no error
+
+
+class TestPeerTransfers:
+    def test_hipmalloc_fastest(self, node):
+        apu = node.apu(0)
+        device = apu.memory.hip_malloc(4 * MiB)
+        pinned = apu.memory.hip_host_malloc(4 * MiB)
+        pageable = apu.memory.malloc(4 * MiB)
+        bw_device = node.peer_bandwidth(device)
+        bw_pinned = node.peer_bandwidth(pinned)
+        bw_pageable = node.peer_bandwidth(pageable)
+        assert bw_device > bw_pinned > bw_pageable
+
+    def test_hipmalloc_reaches_link_rate(self, node):
+        apu = node.apu(0)
+        buf = apu.memory.hip_malloc(4 * MiB)
+        assert node.peer_bandwidth(buf) == pytest.approx(
+            node.config.xgmi_link_bandwidth_bytes_per_s
+        )
+
+    def test_transfer_advances_both_clocks(self, node):
+        apu0, apu1 = node.apu(0), node.apu(1)
+        buf = apu0.memory.hip_malloc(16 * MiB)
+        t0, t1 = apu0.clock.now_ns, apu1.clock.now_ns
+        duration = node.peer_memcpy(1, 0, buf)
+        assert duration > 0
+        assert apu0.clock.now_ns - t0 == pytest.approx(duration)
+        assert apu1.clock.now_ns - t1 == pytest.approx(duration)
+
+    def test_link_traffic_accounted(self, node):
+        apu0 = node.apu(0)
+        buf = apu0.memory.hip_malloc(4 * MiB)
+        node.peer_memcpy(3, 0, buf)
+        node.peer_memcpy(3, 0, buf, nbytes=1 * MiB)
+        assert node.link_traffic_bytes()[(0, 3)] == 5 * MiB
+
+    def test_same_apu_rejected(self, node):
+        buf = node.apu(0).memory.hip_malloc(4 * MiB)
+        with pytest.raises(ValueError):
+            node.peer_memcpy(0, 0, buf)
+
+    def test_oversized_transfer_rejected(self, node):
+        buf = node.apu(0).memory.hip_malloc(4 * MiB)
+        with pytest.raises(ValueError):
+            node.peer_memcpy(1, 0, buf, nbytes=8 * MiB)
+
+
+class TestAllToAll:
+    def test_allocator_ordering(self, node):
+        times = {
+            kind: node.all_to_all_time_ns(64 * MiB, kind)
+            for kind in ("hipMalloc", "hipHostMalloc", "malloc")
+        }
+        assert times["hipMalloc"] < times["hipHostMalloc"] < times["malloc"]
+
+    def test_pageable_roughly_3x_hipmalloc(self, node):
+        hip = node.all_to_all_time_ns(64 * MiB, "hipMalloc")
+        pageable = node.all_to_all_time_ns(64 * MiB, "malloc")
+        assert pageable / hip == pytest.approx(3.0, rel=0.05)
+
+    def test_unknown_kind_rejected(self, node):
+        with pytest.raises(ValueError):
+            node.all_to_all_time_ns(1 * MiB, "cudaMalloc")

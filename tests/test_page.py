@@ -1,0 +1,93 @@
+"""Unit tests for page/PTE primitives (repro.core.page)."""
+
+import pytest
+
+from repro.core.page import (
+    NO_FRAME,
+    PTE,
+    PTE_GPU_MAPPED,
+    PTE_PINNED,
+    PTE_UNCACHED,
+    PTE_VALID,
+    align_down,
+    align_up,
+    page_number,
+    page_offset,
+    pages_spanned,
+)
+
+
+class TestAddressHelpers:
+    def test_page_number(self):
+        assert page_number(0) == 0
+        assert page_number(4095) == 0
+        assert page_number(4096) == 1
+        assert page_number(10 * 4096 + 17) == 10
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            page_number(-1)
+
+    def test_page_offset(self):
+        assert page_offset(4096) == 0
+        assert page_offset(4097) == 1
+        assert page_offset(8191) == 4095
+
+    def test_pages_spanned_single(self):
+        assert pages_spanned(0, 1) == 1
+        assert pages_spanned(0, 4096) == 1
+
+    def test_pages_spanned_crossing(self):
+        assert pages_spanned(4095, 2) == 2
+        assert pages_spanned(0, 4097) == 2
+        assert pages_spanned(100, 3 * 4096) == 4
+
+    def test_pages_spanned_requires_positive(self):
+        with pytest.raises(ValueError):
+            pages_spanned(0, 0)
+
+    def test_align_up(self):
+        assert align_up(0, 4096) == 0
+        assert align_up(1, 4096) == 4096
+        assert align_up(4096, 4096) == 4096
+
+    def test_align_down(self):
+        assert align_down(4097, 4096) == 4096
+        assert align_down(4095, 4096) == 0
+
+    def test_alignment_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            align_up(10, 3)
+        with pytest.raises(ValueError):
+            align_down(10, 0)
+
+
+class TestPTE:
+    def test_default_is_invalid(self):
+        pte = PTE()
+        assert not pte.valid
+        assert pte.frame == NO_FRAME
+
+    def test_valid_requires_flag_and_frame(self):
+        assert PTE(frame=5, flags=PTE_VALID).valid
+        assert not PTE(frame=5, flags=0).valid
+        assert not PTE(frame=NO_FRAME, flags=PTE_VALID).valid
+
+    def test_flag_properties(self):
+        pte = PTE(frame=1, flags=PTE_VALID | PTE_PINNED | PTE_GPU_MAPPED)
+        assert pte.pinned
+        assert pte.gpu_mapped
+        assert not pte.uncached
+        assert PTE(frame=1, flags=PTE_UNCACHED).uncached
+
+    def test_fragment_coverage(self):
+        pte = PTE(frame=0, flags=PTE_VALID, fragment=4)
+        assert pte.fragment_pages == 16
+        assert pte.fragment_bytes == 16 * 4096
+
+    def test_fragment_exponent_range_enforced(self):
+        PTE(fragment=31)  # max ok
+        with pytest.raises(ValueError):
+            PTE(fragment=32)
+        with pytest.raises(ValueError):
+            PTE(fragment=-1)

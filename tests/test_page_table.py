@@ -1,0 +1,153 @@
+"""Unit tests for the page tables and HMM mirror (repro.core.page_table)."""
+
+import numpy as np
+import pytest
+
+from repro.core.address_space import VMA
+from repro.core.page import NO_FRAME
+from repro.core.page_table import GPUPageTable, HMMMirror, SystemPageTable
+
+
+@pytest.fixture
+def tables():
+    system, gpu = SystemPageTable(), GPUPageTable()
+    return system, gpu, HMMMirror(system, gpu)
+
+
+def make_vma(npages=8, start=0x7000_0000_0000):
+    return VMA(start=start, npages=npages)
+
+
+class TestSystemPageTable:
+    def test_map_installs_frames(self, tables):
+        system, _, _ = tables
+        vma = make_vma()
+        system.map_range(vma, 0, np.arange(100, 104))
+        assert vma.sys_valid[:4].all()
+        assert list(vma.frames[:4]) == [100, 101, 102, 103]
+        assert system.stats.mapped_pages == 4
+
+    def test_remap_rejected(self, tables):
+        system, _, _ = tables
+        vma = make_vma()
+        system.map_range(vma, 0, np.arange(4))
+        with pytest.raises(ValueError):
+            system.map_range(vma, 2, np.arange(10, 12))
+
+    def test_map_escaping_range_rejected(self, tables):
+        system, _, _ = tables
+        vma = make_vma(npages=2)
+        with pytest.raises(ValueError):
+            system.map_range(vma, 1, np.arange(2))
+
+    def test_map_over_existing_frames_must_agree(self, tables):
+        system, gpu, _ = tables
+        vma = make_vma()
+        vma.frames[0] = 77  # backed (e.g. GPU faulted first), not sys-mapped
+        system.map_range(vma, 0, np.array([77]))
+        assert vma.sys_valid[0]
+        vma2 = make_vma(start=0x7100_0000_0000)
+        vma2.frames[0] = 77
+        with pytest.raises(ValueError):
+            system.map_range(vma2, 0, np.array([88]))
+
+    def test_unmap_returns_frames(self, tables):
+        system, _, _ = tables
+        vma = make_vma()
+        system.map_range(vma, 0, np.arange(50, 54))
+        freed = system.unmap_range(vma, 0, 4)
+        assert list(freed) == [50, 51, 52, 53]
+        assert not vma.sys_valid[:4].any()
+        assert system.stats.unmapped_pages == 4
+
+    def test_unmap_skips_absent(self, tables):
+        system, _, _ = tables
+        vma = make_vma()
+        system.map_range(vma, 0, np.array([9]))
+        freed = system.unmap_range(vma, 0, 4)
+        assert list(freed) == [9]
+
+    def test_is_present(self, tables):
+        system, _, _ = tables
+        vma = make_vma()
+        system.map_range(vma, 2, np.array([5]))
+        assert system.is_present(vma, 2)
+        assert not system.is_present(vma, 1)
+
+
+class TestGPUPageTable:
+    def test_map_requires_backing(self, tables):
+        _, gpu, _ = tables
+        vma = make_vma()
+        with pytest.raises(ValueError):
+            gpu.map_range(vma, 0, 1)
+
+    def test_map_sets_fragments(self, tables):
+        _, gpu, _ = tables
+        vma = make_vma(npages=16)
+        vma.frames[:] = np.arange(160, 176)  # contiguous, 16-aligned
+        gpu.map_range(vma, 0, 16)
+        assert vma.gpu_valid.all()
+        assert vma.fragment.max() >= 4  # one 16-page fragment
+
+    def test_adjacent_mappings_coalesce(self, tables):
+        _, gpu, _ = tables
+        vma = make_vma(npages=4)
+        vma.frames[:] = np.arange(64, 68)
+        gpu.map_range(vma, 0, 2)
+        gpu.map_range(vma, 2, 2)
+        # After the second scan the whole aligned run is one fragment.
+        assert (vma.fragment == 2).all()
+
+    def test_unmap_clears_fragments(self, tables):
+        _, gpu, _ = tables
+        vma = make_vma(npages=4)
+        vma.frames[:] = np.arange(64, 68)
+        gpu.map_range(vma, 0, 4)
+        gpu.unmap_range(vma, 0, 4)
+        assert not vma.gpu_valid.any()
+        assert (vma.fragment == 0).all()
+
+
+class TestHMM:
+    def test_propagate_copies_present_ptes(self, tables):
+        system, gpu, hmm = tables
+        vma = make_vma()
+        system.map_range(vma, 0, np.arange(32, 36))
+        count = hmm.propagate_range(vma, 0, 8)
+        assert count == 4
+        assert vma.gpu_valid[:4].all()
+        assert not vma.gpu_valid[4:].any()
+
+    def test_propagate_idempotent(self, tables):
+        system, _, hmm = tables
+        vma = make_vma()
+        system.map_range(vma, 0, np.arange(4))
+        assert hmm.propagate_range(vma, 0, 4) == 4
+        assert hmm.propagate_range(vma, 0, 4) == 0
+
+    def test_propagate_disjoint_runs(self, tables):
+        system, _, hmm = tables
+        vma = make_vma()
+        system.map_range(vma, 0, np.array([10]))
+        system.map_range(vma, 3, np.array([20, 21]))
+        assert hmm.propagate_range(vma, 0, 8) == 3
+        assert vma.gpu_valid[0] and vma.gpu_valid[3] and vma.gpu_valid[4]
+        assert not vma.gpu_valid[1]
+
+    def test_invalidate(self, tables):
+        system, gpu, hmm = tables
+        vma = make_vma()
+        system.map_range(vma, 0, np.arange(4))
+        hmm.propagate_range(vma, 0, 4)
+        removed = hmm.invalidate_range(vma, 0, 8)
+        assert removed == 4
+        assert not vma.gpu_valid.any()
+        assert gpu.stats.invalidated_ptes == 4
+
+    def test_propagated_counter(self, tables):
+        system, gpu, hmm = tables
+        vma = make_vma()
+        system.map_range(vma, 0, np.arange(6))
+        hmm.propagate_range(vma, 0, 6)
+        assert gpu.stats.propagated_ptes == 6

@@ -1,0 +1,143 @@
+"""Property-based tests over the performance models (hypothesis).
+
+These pin the physical sanity conditions any calibration must respect:
+monotonicities, bounds, and symmetries.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.config import default_config
+from repro.perf.atomics import (
+    cpu_atomic_throughput,
+    gpu_atomic_throughput,
+    hybrid_atomic_throughput,
+)
+from repro.perf.bandwidth import BufferTraits, cpu_stream_bandwidth, gpu_stream_bandwidth
+from repro.perf.faultmodel import fault_throughput_pages_per_s
+from repro.perf.latency import cpu_chase_latency_ns, gpu_chase_latency_ns
+
+CFG = default_config()
+
+sizes = st.integers(1, 1 << 32)
+elements = st.integers(1, 1 << 30)
+cpu_threads = st.integers(1, 24)
+gpu_threads = st.integers(1, 14592)
+dtypes = st.sampled_from(["uint64", "fp64"])
+
+
+class TestLatencyProperties:
+    @given(a=sizes, b=sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_monotone_in_working_set(self, a, b):
+        small, big = sorted((a, b))
+        assert cpu_chase_latency_ns(CFG, small) <= \
+            cpu_chase_latency_ns(CFG, big) + 1e-9
+        assert gpu_chase_latency_ns(CFG, small) <= \
+            gpu_chase_latency_ns(CFG, big) + 1e-9
+
+    @given(ws=sizes)
+    @settings(max_examples=60, deadline=None)
+    def test_latency_bounded_by_extremes(self, ws):
+        cpu = cpu_chase_latency_ns(CFG, ws)
+        assert CFG.cpu_l1.latency_ns <= cpu <= CFG.cpu_hbm_latency_ns
+        gpu = gpu_chase_latency_ns(CFG, ws)
+        assert CFG.gpu_l1.latency_ns <= gpu <= CFG.gpu_hbm_latency_ns
+
+    @given(ws=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_cpu_beats_gpu_latency(self, ws):
+        assert cpu_chase_latency_ns(CFG, ws) < gpu_chase_latency_ns(CFG, ws)
+
+
+class TestBandwidthProperties:
+    @given(
+        threads=cpu_threads,
+        balance=st.floats(0.0, 1.0),
+        on_demand=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_cpu_bandwidth_positive_and_bounded(self, threads, balance, on_demand):
+        traits = BufferTraits(on_demand, False, 8192.0, balance)
+        bw = cpu_stream_bandwidth(CFG, traits, threads)
+        assert 0 < bw <= CFG.bandwidth.cpu_peak_stream_bytes_per_s
+
+    @given(a=cpu_threads, b=cpu_threads)
+    @settings(max_examples=40, deadline=None)
+    def test_case_a_monotone_in_threads(self, a, b):
+        traits = BufferTraits(False, False, 64 * 1024.0, 1.0)
+        low, high = sorted((a, b))
+        assert cpu_stream_bandwidth(CFG, traits, low) <= \
+            cpu_stream_bandwidth(CFG, traits, high) + 1e-6
+
+    @given(
+        fragment=st.floats(4096.0, 1 << 22),
+        on_demand=st.booleans(),
+        uncached=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gpu_bandwidth_tier_bounds(self, fragment, on_demand, uncached):
+        traits = BufferTraits(on_demand, uncached, fragment, 1.0)
+        bw = gpu_stream_bandwidth(CFG, traits)
+        assert CFG.bandwidth.gpu_managed_static_bytes_per_s <= bw
+        assert bw <= CFG.bandwidth.gpu_peak_stream_bytes_per_s
+
+
+class TestAtomicsProperties:
+    @given(n=elements, t=cpu_threads, dtype=dtypes)
+    @settings(max_examples=60, deadline=None)
+    def test_cpu_throughput_positive(self, n, t, dtype):
+        assert cpu_atomic_throughput(CFG, n, t, dtype) > 0
+
+    @given(n=elements, t=cpu_threads)
+    @settings(max_examples=60, deadline=None)
+    def test_uint64_never_slower_than_fp64(self, n, t):
+        assert cpu_atomic_throughput(CFG, n, t, "uint64") >= \
+            cpu_atomic_throughput(CFG, n, t, "fp64")
+
+    @given(n=elements, t=gpu_threads)
+    @settings(max_examples=60, deadline=None)
+    def test_gpu_dtype_blind(self, n, t):
+        assert gpu_atomic_throughput(CFG, n, t, "uint64") == \
+            gpu_atomic_throughput(CFG, n, t, "fp64")
+
+    @given(n=elements, a=gpu_threads, b=gpu_threads)
+    @settings(max_examples=40, deadline=None)
+    def test_gpu_monotone_in_threads(self, n, a, b):
+        low, high = sorted((a, b))
+        assert gpu_atomic_throughput(CFG, n, low, "uint64") <= \
+            gpu_atomic_throughput(CFG, n, high, "uint64") + 1e-6
+
+    @given(n=elements, ct=cpu_threads, gt=gpu_threads, dtype=dtypes)
+    @settings(max_examples=40, deadline=None)
+    def test_hybrid_relatives_bounded(self, n, ct, gt, dtype):
+        h = hybrid_atomic_throughput(CFG, n, ct, gt, dtype)
+        assert 0 < h.cpu_relative <= 1.25
+        assert 0 < h.gpu_relative <= 1.05
+        assert h.cpu_updates_per_s > 0
+        assert h.gpu_updates_per_s > 0
+
+
+class TestFaultModelProperties:
+    @given(
+        a=st.integers(1, 10**8),
+        b=st.integers(1, 10**8),
+        scenario=st.sampled_from(["gpu_major", "gpu_minor", "cpu", "cpu12"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_throughput_monotone_in_pages(self, a, b, scenario):
+        low, high = sorted((a, b))
+        assert fault_throughput_pages_per_s(CFG, scenario, low) <= \
+            fault_throughput_pages_per_s(CFG, scenario, high) * (1 + 1e-9)
+
+    @given(n=st.integers(1, 10**8))
+    @settings(max_examples=60, deadline=None)
+    def test_minor_always_at_least_major(self, n):
+        assert fault_throughput_pages_per_s(CFG, "gpu_minor", n) >= \
+            fault_throughput_pages_per_s(CFG, "gpu_major", n)
+
+    @given(n=st.integers(1, 10**8))
+    @settings(max_examples=60, deadline=None)
+    def test_cpu12_always_at_least_cpu1(self, n):
+        assert fault_throughput_pages_per_s(CFG, "cpu12", n) >= \
+            fault_throughput_pages_per_s(CFG, "cpu", n)

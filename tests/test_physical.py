@@ -1,0 +1,155 @@
+"""Unit tests for the physical frame allocator (repro.core.physical)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import PAGE_SIZE, small_config
+from repro.hw.hbm import HBMSubsystem, channel_balance
+from repro.core.physical import OutOfMemoryError, PhysicalMemory
+
+
+@pytest.fixture
+def phys():
+    return PhysicalMemory(small_config(1 << 30))
+
+
+class TestBookkeeping:
+    def test_starts_all_free(self, phys):
+        assert phys.free_frames == phys.total_frames
+        assert phys.used_bytes == 0
+
+    def test_alloc_reduces_free(self, phys):
+        phys.alloc_chunks(100, 16)
+        assert phys.free_frames == phys.total_frames - 100
+        assert phys.used_bytes == 100 * PAGE_SIZE
+
+    def test_free_restores(self, phys):
+        frames = phys.alloc_chunks(64, 16)
+        phys.free(frames)
+        assert phys.free_frames == phys.total_frames
+
+    def test_double_free_rejected(self, phys):
+        frames = phys.alloc_chunks(16, 16)
+        phys.free(frames)
+        with pytest.raises(ValueError):
+            phys.free(frames)
+
+    def test_free_out_of_range_rejected(self, phys):
+        with pytest.raises(ValueError):
+            phys.free(np.array([phys.total_frames + 1]))
+
+    def test_free_empty_is_noop(self, phys):
+        phys.free(np.array([], dtype=np.int64))
+        assert phys.free_frames == phys.total_frames
+
+
+class TestContiguousAllocation:
+    def test_chunks_are_contiguous_and_aligned(self, phys):
+        frames = phys.alloc_chunks(64, 16)
+        for i in range(0, 64, 16):
+            chunk = frames[i : i + 16]
+            assert (np.diff(chunk) == 1).all()
+            assert chunk[0] % 16 == 0
+
+    def test_partial_tail_chunk(self, phys):
+        frames = phys.alloc_chunks(20, 16)
+        assert len(frames) == 20
+        assert len(np.unique(frames)) == 20
+
+    def test_separate_chunks_do_not_merge(self, phys):
+        frames = phys.alloc_chunks(64, 16)
+        # Gap between consecutive chunks (steady-state fragmentation model).
+        for i in range(16, 64, 16):
+            assert frames[i] != frames[i - 1] + 1
+
+    def test_chunk_pages_must_be_power_of_two(self, phys):
+        with pytest.raises(ValueError):
+            phys.alloc_chunks(10, 3)
+
+    def test_oversized_request_rejected(self, phys):
+        with pytest.raises(OutOfMemoryError):
+            phys.alloc_chunks(phys.total_frames + 1, 16)
+
+    def test_chunked_allocation_covers_all_channels(self, phys):
+        hbm = HBMSubsystem(small_config(1 << 30).hbm)
+        frames = phys.alloc_chunks(128 * 32, 16)
+        hist = hbm.channel_histogram(frames)
+        assert channel_balance(hist) > 0.9
+
+    def test_zero_pages_rejected(self, phys):
+        with pytest.raises(ValueError):
+            phys.alloc_chunks(0, 16)
+
+
+class TestScatteredAllocation:
+    def test_unique_free_frames(self, phys):
+        frames = phys.alloc_scattered(5000)
+        assert len(np.unique(frames)) == 5000
+        assert not phys._free[frames].any()
+
+    def test_low_contiguity(self, phys):
+        frames = np.sort(phys.alloc_scattered(4096))
+        adjacent = (np.diff(frames) == 1).sum()
+        # Mostly pairs at best: never long runs.
+        runs = np.split(frames, np.flatnonzero(np.diff(frames) != 1) + 1)
+        assert max(len(r) for r in runs) <= 4
+
+    def test_channel_bias(self):
+        cfg = small_config(8 << 30)
+        phys = PhysicalMemory(cfg)
+        hbm = HBMSubsystem(cfg.hbm)
+        frames = phys.alloc_scattered(50_000)
+        hist = hbm.channel_histogram(frames)
+        # Scattered draws follow the skewed free list: clearly unbalanced.
+        assert channel_balance(hist) < 0.5
+
+    def test_pair_fraction_controls_adjacency(self):
+        def paired_fraction(pf):
+            phys = PhysicalMemory(small_config(1 << 30), seed=7)
+            frames = np.sort(phys.alloc_scattered(2048, pair_fraction=pf))
+            runs = np.split(frames, np.flatnonzero(np.diff(frames) != 1) + 1)
+            return sum(len(r) for r in runs if len(r) > 1) / 2048
+
+        # Hot channels make some accidental adjacency unavoidable, but
+        # the buddy-pair fraction must clearly dominate it.
+        assert paired_fraction(0.0) < paired_fraction(0.88) - 0.2
+
+    def test_deterministic_given_seed(self):
+        cfg = small_config(1 << 30)
+        a = PhysicalMemory(cfg, seed=42).alloc_scattered(1000)
+        b = PhysicalMemory(cfg, seed=42).alloc_scattered(1000)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        cfg = small_config(1 << 30)
+        a = PhysicalMemory(cfg, seed=1).alloc_scattered(1000)
+        b = PhysicalMemory(cfg, seed=2).alloc_scattered(1000)
+        assert not np.array_equal(a, b)
+
+    def test_nearly_full_pool_falls_back_to_sweep(self):
+        phys = PhysicalMemory(small_config(1 << 30))
+        bulk = phys.alloc_chunks((phys.total_frames // 16 - 2) * 16, 16)
+        remaining = phys.free_frames
+        frames = phys.alloc_scattered(remaining)
+        assert len(frames) == remaining
+        assert phys.free_frames == 0
+
+    def test_exhaustion_raises(self, phys):
+        with pytest.raises(OutOfMemoryError):
+            phys.alloc_scattered(phys.total_frames + 1)
+
+
+class TestChannelWeights:
+    def test_weights_normalised(self, phys):
+        weights = phys.channel_weights()
+        assert weights.sum() == pytest.approx(1.0)
+        assert (weights > 0).all()
+
+    def test_zero_skew_is_uniform(self):
+        cfg = small_config(1 << 30)
+        cfg = cfg.replace(
+            policy=cfg.policy.__class__(free_list_channel_skew=0.0)
+        )
+        phys = PhysicalMemory(cfg)
+        weights = phys.channel_weights()
+        assert np.allclose(weights, weights[0])

@@ -1,0 +1,88 @@
+"""Tests for the machine-readable report layer (repro.report)."""
+
+import csv
+import json
+
+import pytest
+
+from repro.report import (
+    COLLECTORS,
+    ExperimentReport,
+    collect_all,
+    collect_fig7,
+    collect_fig8,
+    collect_table1,
+    export_all,
+)
+
+
+class TestExperimentReport:
+    def test_add_and_len(self):
+        report = ExperimentReport("x", "t", ["a", "b"])
+        report.add(1, 2)
+        report.add(3, 4)
+        assert len(report) == 2
+
+    def test_row_arity_enforced(self):
+        report = ExperimentReport("x", "t", ["a", "b"])
+        with pytest.raises(ValueError):
+            report.add(1)
+
+    def test_column_extraction(self):
+        report = ExperimentReport("x", "t", ["a", "b"])
+        report.add(1, "p")
+        report.add(2, "q")
+        assert report.column("a") == [1, 2]
+        assert report.column("b") == ["p", "q"]
+
+    def test_csv_round_trip(self, tmp_path):
+        report = ExperimentReport("x", "t", ["a", "b"])
+        report.add(1, "hello")
+        path = report.to_csv(tmp_path / "x.csv")
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "hello"]]
+
+    def test_json_round_trip(self, tmp_path):
+        report = ExperimentReport("x", "t", ["a"])
+        report.add(42)
+        payload = json.loads(report.to_json(tmp_path / "x.json"))
+        assert payload["experiment"] == "x"
+        assert payload["rows"] == [[42]]
+        assert json.loads((tmp_path / "x.json").read_text()) == payload
+
+
+class TestCollectors:
+    def test_table1_rows(self):
+        report = collect_table1()
+        assert len(report) == 10  # 5 allocators x 2 xnack modes
+        assert "physical" in report.columns
+
+    def test_fig7_matches_model(self):
+        report = collect_fig7()
+        scenarios = set(report.column("scenario"))
+        assert scenarios == {"gpu_major", "gpu_minor", "cpu", "cpu12"}
+        # The plateau value survives the export.
+        plateau = [
+            r for r in report.rows
+            if r[0] == "gpu_minor" and r[1] == 10_000_000
+        ]
+        assert plateau[0][2] == pytest.approx(9.0e6, rel=0.05)
+
+    def test_fig8_columns(self):
+        report = collect_fig8()
+        assert len(report) == 3
+        means = dict(zip(report.column("fault_type"), report.column("mean_us")))
+        assert means["cpu"] == pytest.approx(9.0, rel=0.05)
+
+    def test_collect_all_covers_registry(self):
+        reports = collect_all(quick=True)
+        assert set(reports) == set(COLLECTORS)
+        assert all(len(r) > 0 for r in reports.values())
+
+    def test_export_all_writes_files(self, tmp_path):
+        paths = export_all(tmp_path, quick=True)
+        assert len(paths) == len(COLLECTORS)
+        for path in paths:
+            assert path.exists()
+            assert path.stat().st_size > 0

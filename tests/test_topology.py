@@ -1,0 +1,67 @@
+"""Unit tests for the chiplet topology (repro.hw.topology)."""
+
+import pytest
+
+from repro.hw.config import default_config
+from repro.hw.topology import APUTopology, link_pairs
+
+
+@pytest.fixture
+def topo():
+    return APUTopology(default_config())
+
+
+class TestStructure:
+    def test_chiplet_counts(self, topo):
+        assert len(topo.chiplets("xcd")) == 6
+        assert len(topo.chiplets("ccd")) == 3
+        assert len(topo.chiplets("iod")) == 4
+        assert len(topo.chiplets("hbm")) == 8
+
+    def test_every_two_xcds_share_an_iod(self, topo):
+        for i in range(6):
+            assert topo.hops(f"xcd{i}", f"iod{i // 2}") == 1
+
+    def test_ccds_share_one_iod(self, topo):
+        for i in range(3):
+            assert topo.hops(f"ccd{i}", "iod3") == 1
+
+    def test_iods_fully_connected(self, topo):
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert topo.hops(f"iod{a}", f"iod{b}") == 1
+
+    def test_node_ids(self, topo):
+        chiplet = topo.chiplets("xcd")[3]
+        assert chiplet.node_id == "xcd3"
+        assert chiplet.index == 3
+
+
+class TestUnifiedMemoryProperty:
+    def test_memory_reachable_from_all_compute(self, topo):
+        assert topo.memory_reachable_from_all()
+
+    def test_max_hops_to_memory_bounded(self, topo):
+        # Worst case: compute -> its IOD -> remote IOD -> HBM stack.
+        assert topo.max_hops_to_memory() <= 3
+
+    def test_xcd_and_ccd_can_reach_same_stack(self, topo):
+        # The structural definition of UPM: no stack is private.
+        path_gpu = topo.path("xcd0", "hbm5")
+        path_cpu = topo.path("ccd0", "hbm5")
+        assert path_gpu[-1] == path_cpu[-1] == "hbm5"
+
+
+class TestHelpers:
+    def test_link_pairs_are_fabric_edges(self, topo):
+        pairs = link_pairs(topo)
+        assert ("iod0", "iod1") in pairs
+        assert all(a < b for a, b in pairs)
+        # HBM PHY links are not Infinity Fabric.
+        assert not any("hbm" in a or "hbm" in b for a, b in pairs)
+
+    def test_describe_mentions_parts(self, topo):
+        text = topo.describe()
+        assert "6 XCD" in text
+        assert "3 CCD" in text
+        assert "228" in text

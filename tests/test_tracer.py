@@ -1,0 +1,121 @@
+"""Tests for the memory tracer and porting advisor (repro.profiling.tracer)."""
+
+import pytest
+
+from repro.hw.config import MiB
+from repro.profiling.tracer import (
+    AdvisorReport,
+    EventKind,
+    MemoryTracer,
+    PortingAdvisor,
+)
+
+
+@pytest.fixture
+def traced_explicit_run(apu):
+    """Trace a miniature explicit-model run: h/d pair + copies + kernel."""
+    tracer = MemoryTracer()
+    h = apu.memory.malloc(16 * MiB, name="h_data")
+    d = apu.memory.hip_malloc(16 * MiB, name="d_data")
+    other = apu.memory.hip_malloc(4 * MiB, name="d_scratch")
+    tracer.record_alloc(h, 0.0)
+    tracer.record_alloc(d, 100.0)
+    tracer.record_alloc(other, 150.0)
+    tracer.record_copy("d_data", "h_data", 16 * MiB, 200.0, 280_000.0)
+    tracer.record_kernel("stencil", ["d_data"], 500_000.0, 90_000.0)
+    tracer.record_copy("h_data", "d_data", 16 * MiB, 600_000.0, 280_000.0)
+    return tracer
+
+
+class TestTracer:
+    def test_records_events_in_order(self, traced_explicit_run):
+        kinds = [e.kind for e in traced_explicit_run.events]
+        assert kinds == [
+            EventKind.ALLOC, EventKind.ALLOC, EventKind.ALLOC,
+            EventKind.COPY, EventKind.KERNEL, EventKind.COPY,
+        ]
+
+    def test_live_bytes(self, traced_explicit_run):
+        assert traced_explicit_run.live_bytes() == 36 * MiB
+        traced_explicit_run.record_free("d_scratch", 1e6)
+        assert traced_explicit_run.live_bytes() == 32 * MiB
+
+    def test_accessed_tracking(self, traced_explicit_run):
+        assert traced_explicit_run.accessed("h_data")
+        assert traced_explicit_run.accessed("d_data")
+        assert not traced_explicit_run.accessed("d_scratch")
+
+    def test_query_helpers(self, traced_explicit_run):
+        assert len(traced_explicit_run.copies()) == 2
+        assert len(traced_explicit_run.kernels()) == 1
+        assert len(traced_explicit_run.allocations()) == 3
+
+
+class TestAdvisor:
+    def test_finds_duplicated_pair(self, traced_explicit_run):
+        report = PortingAdvisor(traced_explicit_run).analyse()
+        assert len(report.duplicated_pairs) == 1
+        finding = report.duplicated_pairs[0]
+        assert finding.host_buffer == "h_data"
+        assert finding.device_buffer == "d_data"
+        assert finding.copies == 2
+        assert finding.memory_saving_bytes == 16 * MiB
+
+    def test_potential_saving(self, traced_explicit_run):
+        report = PortingAdvisor(traced_explicit_run).analyse()
+        assert report.potential_memory_saving_bytes == 16 * MiB
+
+    def test_copy_fraction(self, traced_explicit_run):
+        report = PortingAdvisor(traced_explicit_run).analyse()
+        assert report.copy_time_ns == pytest.approx(560_000.0)
+        assert report.kernel_time_ns == pytest.approx(90_000.0)
+        assert report.copy_fraction == pytest.approx(560 / 650, rel=0.01)
+
+    def test_dead_allocation_detected(self, traced_explicit_run):
+        report = PortingAdvisor(traced_explicit_run).analyse()
+        assert report.dead_allocations == ["d_scratch"]
+
+    def test_fault_dominated_kernel(self, apu):
+        tracer = MemoryTracer()
+        vec = apu.memory.malloc(4 * MiB, name="std::vector")
+        tracer.record_alloc(vec, 0.0)
+        tracer.record_kernel(
+            "euclid", ["std::vector"], 100.0, duration_ns=1e6, fault_ns=9e5
+        )
+        report = PortingAdvisor(tracer).analyse()
+        assert report.fault_dominated_kernels == ["euclid"]
+
+    def test_unified_run_is_clean(self, apu):
+        tracer = MemoryTracer()
+        buf = apu.memory.hip_malloc(16 * MiB, name="unified")
+        tracer.record_alloc(buf, 0.0)
+        tracer.record_kernel("stencil", ["unified"], 100.0, 90_000.0)
+        report = PortingAdvisor(tracer).analyse()
+        assert not report.duplicated_pairs
+        assert not report.dead_allocations
+        assert report.copy_fraction == 0.0
+
+    def test_size_mismatch_not_paired(self, apu):
+        tracer = MemoryTracer()
+        h = apu.memory.malloc(16 * MiB, name="h")
+        d = apu.memory.hip_malloc(8 * MiB, name="d")
+        tracer.record_alloc(h, 0.0)
+        tracer.record_alloc(d, 0.0)
+        tracer.record_copy("d", "h", 8 * MiB, 100.0, 1000.0)
+        report = PortingAdvisor(tracer).analyse()
+        assert not report.duplicated_pairs
+
+    def test_summary_text(self, traced_explicit_run):
+        text = PortingAdvisor(traced_explicit_run).summarise()
+        assert "duplicated" in text
+        assert "h_data" in text
+        assert "d_scratch" in text
+        assert "copies are" in text
+
+    def test_summary_clean_text(self, apu):
+        tracer = MemoryTracer()
+        buf = apu.memory.hip_malloc(1 * MiB, name="u")
+        tracer.record_alloc(buf, 0.0)
+        tracer.record_kernel("k", ["u"], 0.0, 1000.0)
+        text = PortingAdvisor(tracer).summarise()
+        assert "already unified" in text

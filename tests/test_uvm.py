@@ -1,0 +1,164 @@
+"""Tests for the discrete-GPU UVM comparison substrate (repro.uvm)."""
+
+import numpy as np
+import pytest
+
+from repro.hw.config import GiB, MiB
+from repro.uvm.config import PAGE_SIZE, UVMConfig
+from repro.uvm.system import (
+    DeviceOutOfMemoryError,
+    ManagedBuffer,
+    UVMSystem,
+)
+from repro.uvm.comparison import (
+    run_explicit_discrete,
+    run_upm,
+    run_uvm,
+    three_way_comparison,
+)
+
+
+@pytest.fixture
+def system():
+    return UVMSystem(UVMConfig(device_memory_bytes=1 * GiB))
+
+
+class TestManagedResidency:
+    def test_fresh_buffer_nowhere(self, system):
+        buf = system.malloc_managed(16 * MiB)
+        assert buf.device_resident_bytes() == 0
+        assert not buf.populated.any()
+
+    def test_gpu_access_migrates_to_device(self, system):
+        buf = system.malloc_managed(16 * MiB)
+        system.gpu_access(buf)
+        assert buf.on_device.all()
+        assert system.counters.gpu_faulted_pages == buf.npages
+
+    def test_first_touch_on_gpu_moves_nothing(self, system):
+        buf = system.malloc_managed(16 * MiB)
+        system.gpu_access(buf)
+        # Never CPU-touched: mapped on device without link traffic.
+        assert system.counters.migrated_to_device_bytes == 0
+
+    def test_populated_pages_pay_migration(self, system):
+        buf = system.malloc_managed(16 * MiB)
+        system.cpu_access(buf)  # populate host-side
+        system.gpu_access(buf)
+        assert system.counters.migrated_to_device_bytes == 16 * MiB
+
+    def test_cpu_access_migrates_back(self, system):
+        buf = system.malloc_managed(8 * MiB)
+        system.gpu_access(buf)
+        system.cpu_access(buf)
+        assert not buf.on_device.any()
+        assert system.counters.migrated_to_host_bytes == 8 * MiB
+
+    def test_resident_access_is_free(self, system):
+        buf = system.malloc_managed(8 * MiB)
+        system.gpu_access(buf)
+        assert system.gpu_access(buf) == 0.0
+
+    def test_partial_range_access(self, system):
+        buf = system.malloc_managed(16 * MiB)
+        system.gpu_access(buf, offset_bytes=0, size_bytes=4 * MiB)
+        assert buf.on_device[: 4 * MiB // PAGE_SIZE].all()
+        assert not buf.on_device[4 * MiB // PAGE_SIZE :].any()
+
+    def test_fault_batching(self, system):
+        buf = system.malloc_managed(4 * MiB)  # 1024 pages, 256/batch
+        system.gpu_access(buf)
+        assert system.counters.gpu_fault_batches == 4
+
+    def test_range_validation(self, system):
+        buf = system.malloc_managed(1 * MiB)
+        with pytest.raises(ValueError):
+            system.gpu_access(buf, offset_bytes=1 * MiB, size_bytes=4096)
+
+
+class TestPrefetch:
+    def test_prefetch_avoids_fault_batches(self, system):
+        buf = system.malloc_managed(16 * MiB)
+        system.cpu_access(buf)
+        system.prefetch(buf, "device")
+        assert buf.on_device.all()
+        assert system.counters.gpu_fault_batches == 0
+
+    def test_prefetch_faster_than_faulting(self):
+        a = UVMSystem()
+        buf_a = a.malloc_managed(64 * MiB)
+        a.cpu_access(buf_a)
+        t0 = a.clock.now_ns
+        a.gpu_access(buf_a)
+        faulting = a.clock.now_ns - t0
+
+        b = UVMSystem()
+        buf_b = b.malloc_managed(64 * MiB)
+        b.cpu_access(buf_b)
+        t0 = b.clock.now_ns
+        b.prefetch(buf_b, "device")
+        prefetching = b.clock.now_ns - t0
+        assert prefetching < faulting
+
+    def test_prefetch_to_host(self, system):
+        buf = system.malloc_managed(8 * MiB)
+        system.gpu_access(buf)
+        system.prefetch(buf, "host")
+        assert not buf.on_device.any()
+
+    def test_bad_target_rejected(self, system):
+        buf = system.malloc_managed(1 * MiB)
+        with pytest.raises(ValueError):
+            system.prefetch(buf, "disk")
+
+
+class TestOversubscription:
+    def test_managed_exceeding_device_memory_works(self):
+        """The UVM capability UPM gives up (paper Section 2.1)."""
+        system = UVMSystem(UVMConfig(device_memory_bytes=64 * MiB))
+        a = system.malloc_managed(48 * MiB, "a")
+        b = system.malloc_managed(48 * MiB, "b")
+        system.gpu_access(a)
+        system.gpu_access(b)  # must evict part of a
+        assert system.counters.evicted_bytes > 0
+        assert system.device_bytes_in_use() <= 64 * MiB
+
+    def test_explicit_device_alloc_cannot_oversubscribe(self):
+        system = UVMSystem(UVMConfig(device_memory_bytes=64 * MiB))
+        system.device_malloc(48 * MiB)
+        with pytest.raises(DeviceOutOfMemoryError):
+            system.device_malloc(48 * MiB)
+
+    def test_device_free_returns_capacity(self):
+        system = UVMSystem(UVMConfig(device_memory_bytes=64 * MiB))
+        buf = system.device_malloc(48 * MiB)
+        system.device_free(buf)
+        system.device_malloc(48 * MiB)  # fits again
+
+
+class TestThreeWayComparison:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return three_way_comparison(working_set_bytes=256 * MiB, iterations=5)
+
+    def test_uvm_2_to_3x_slower_than_explicit(self, results):
+        rel = results["uvm/discrete"].relative_to(results["explicit/discrete"])
+        assert 2.0 <= rel <= 3.5
+
+    def test_prefetch_mitigates(self, results):
+        assert results["uvm+prefetch/discrete"].time_ms < \
+            results["uvm/discrete"].time_ms
+
+    def test_upm_beats_all_discrete_models(self, results):
+        upm = results["upm/MI300A"].time_ms
+        for name, r in results.items():
+            if name != "upm/MI300A":
+                assert upm < r.time_ms, name
+
+    def test_upm_moves_no_data(self, results):
+        assert results["upm/MI300A"].moved_bytes == 0
+        assert results["uvm/discrete"].moved_bytes > 0
+
+    def test_explicit_moves_twice_per_iteration(self):
+        r = run_explicit_discrete(64 * MiB, iterations=3)
+        assert r.moved_bytes == 2 * 3 * 64 * MiB

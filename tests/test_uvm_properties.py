@@ -1,0 +1,92 @@
+"""Property-based tests for the UVM system (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hw.config import MiB
+from repro.uvm.config import PAGE_SIZE, UVMConfig
+from repro.uvm.system import UVMSystem
+
+
+class TestResidencyInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["gpu", "cpu", "prefetch_d", "prefetch_h"]),
+                st.integers(0, 3),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_device_capacity_never_exceeded(self, ops):
+        config = UVMConfig(device_memory_bytes=8 * MiB)
+        system = UVMSystem(config)
+        buffers = [system.malloc_managed(4 * MiB, f"b{i}") for i in range(4)]
+        for op, idx in ops:
+            buffer = buffers[idx]
+            if op == "gpu":
+                system.gpu_access(buffer)
+            elif op == "cpu":
+                system.cpu_access(buffer)
+            elif op == "prefetch_d":
+                system.prefetch(buffer, "device")
+            else:
+                system.prefetch(buffer, "host")
+            assert system.device_bytes_in_use() <= config.device_memory_bytes
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.sampled_from(["gpu", "cpu"]), st.integers(0, 2)),
+            min_size=1,
+            max_size=15,
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_populated_is_monotone_and_clock_advances(self, ops):
+        system = UVMSystem(UVMConfig(device_memory_bytes=64 * MiB))
+        buffers = [system.malloc_managed(2 * MiB) for _ in range(3)]
+        populated_before = [b.populated.copy() for b in buffers]
+        last_time = system.clock.now_ns
+        for op, idx in ops:
+            if op == "gpu":
+                system.gpu_access(buffers[idx])
+            else:
+                system.cpu_access(buffers[idx])
+            assert system.clock.now_ns >= last_time
+            last_time = system.clock.now_ns
+        for before, buffer in zip(populated_before, buffers):
+            # populated never clears once set
+            assert (buffer.populated | ~before).all()
+
+    @given(size_pages=st.integers(1, 64), offset_pages=st.integers(0, 63))
+    @settings(max_examples=40, deadline=None)
+    def test_partial_access_touches_exact_pages(self, size_pages, offset_pages):
+        system = UVMSystem(UVMConfig(device_memory_bytes=64 * MiB))
+        buffer = system.malloc_managed(64 * PAGE_SIZE)
+        if offset_pages + size_pages > 64:
+            return
+        system.gpu_access(
+            buffer,
+            offset_bytes=offset_pages * PAGE_SIZE,
+            size_bytes=size_pages * PAGE_SIZE,
+        )
+        expected = np.zeros(64, dtype=bool)
+        expected[offset_pages : offset_pages + size_pages] = True
+        assert np.array_equal(buffer.on_device, expected)
+
+    @given(n=st.integers(1, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_migration_traffic_conserved(self, n):
+        """Round-tripping a buffer n times migrates exactly n x size each
+        way (after the initial population)."""
+        system = UVMSystem(UVMConfig(device_memory_bytes=64 * MiB))
+        buffer = system.malloc_managed(1 * MiB)
+        system.cpu_access(buffer)  # populate host-side (no traffic)
+        for _ in range(n):
+            system.gpu_access(buffer)
+            system.cpu_access(buffer)
+        assert system.counters.migrated_to_device_bytes == n * 1 * MiB
+        assert system.counters.migrated_to_host_bytes == n * 1 * MiB
