@@ -22,6 +22,7 @@ Subpackages:
 
 * :mod:`repro.hw` — hardware substrate (config, clock, HBM, caches).
 * :mod:`repro.core` — OS/driver memory management (the paper's subject).
+* :mod:`repro.partition` — SPX/TPX/CPX and NPS1/NPS4 partition modes.
 * :mod:`repro.runtime` — the HIP-like runtime and kernel engine.
 * :mod:`repro.perf` — calibrated performance models.
 * :mod:`repro.bench` — the paper's benchmarks as library functions.
@@ -31,6 +32,7 @@ Subpackages:
 """
 
 from .hw import MI300AConfig, default_config, small_config
+from .partition import ComputePartition, MemoryPartition, PartitionConfig
 from .runtime import (
     APU,
     BufferAccess,
@@ -46,10 +48,13 @@ __version__ = "1.0.0"
 __all__ = [
     "APU",
     "BufferAccess",
+    "ComputePartition",
     "DeviceArray",
     "HipRuntime",
     "KernelSpec",
     "MI300AConfig",
+    "MemoryPartition",
+    "PartitionConfig",
     "__version__",
     "default_config",
     "make_apu",

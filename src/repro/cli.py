@@ -7,6 +7,7 @@ Usage::
     python -m repro fig2 --quick         # reduced problem sizes
     python -m repro apps --app hotspot   # one application comparison
     python -m repro uvm                  # the UPM-vs-UVM extension
+    python -m repro partition            # SPX/TPX/CPX x NPS1/NPS4 sweep
     python -m repro export --out results # CSV export of the results
 
 Every command prints the same rows the corresponding `benchmarks/`
@@ -299,6 +300,50 @@ def cmd_uvm(args: argparse.Namespace) -> None:
     )
 
 
+def cmd_partition(args: argparse.Namespace) -> None:
+    """Partitioning: logical devices and bandwidth per mode."""
+    from .partition import (
+        all_valid_modes,
+        device_stream_bandwidth,
+        kernel_launch_factor,
+    )
+    from .runtime.hip import make_runtime
+
+    memory_gib = 2 if args.quick else 4
+    array_bytes = (16 if args.quick else 64) * MiB
+    rows = []
+    for mode in all_valid_modes():
+        hip = make_runtime(memory_gib, partition=mode)
+        apu = hip.apu
+        aggregate = 0.0
+        local_fractions = []
+        for device in apu.logical_devices:
+            hip.hipSetDevice(device.index)
+            buf = hip.hipMalloc(array_bytes)
+            frames = buf.vma.resident_frames()
+            local = apu.placement.local_fraction(frames, device.index)
+            local_fractions.append(local)
+            aggregate += device_stream_bandwidth(
+                apu.config, device, apu.buffer_traits(buf), local
+            )
+            hip.hipFree(buf)
+        first = apu.logical_devices[0]
+        rows.append(
+            (mode.describe(), len(apu.logical_devices), first.compute_units,
+             f"{first.memory_capacity_bytes / GiB:.2f}",
+             f"{first.ic_reach_bytes / MiB:.1f}",
+             f"{min(local_fractions):.2f}",
+             _rate(aggregate),
+             f"{kernel_launch_factor(apu.config, mode):.2f}")
+        )
+    _print_table(
+        "Partition modes (per logical device, aggregate STREAM)",
+        ["mode", "devices", "CUs/dev", "GiB/dev", "IC_MiB/dev",
+         "local_frac", "aggregate_bw", "launch_factor"],
+        rows,
+    )
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": cmd_table1,
     "fig2": cmd_fig2,
@@ -314,6 +359,7 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "apps": cmd_apps,
     "fig11": cmd_apps,
     "uvm": cmd_uvm,
+    "partition": cmd_partition,
     "export": cmd_export,
 }
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -141,13 +141,21 @@ class MemoryManager:
                        self.xnack_enabled, cost)
         )
 
-    def hip_malloc_managed(self, size: int, name: str = "managed") -> Allocation:
+    def hip_malloc_managed(
+        self,
+        size: int,
+        name: str = "managed",
+        frame_range: Optional[Tuple[int, int]] = None,
+    ) -> Allocation:
         """hipMallocManaged: on-demand with XNACK, up-front without.
 
         With XNACK=1 this behaves like malloc (on-demand, scattered
         first-touch frames) but is GPU-accessible by construction.  With
         XNACK=0 the runtime allocates and pins everything up-front, like
-        hipHostMalloc (Table 1, Fig. 6).
+        hipHostMalloc (Table 1, Fig. 6).  *frame_range* confines up-front
+        frames to a NUMA-domain window (NPS4 partition-local placement);
+        the XNACK on-demand path ignores it, as first-touch placement
+        follows the faulting thread, not the allocating device.
         """
         if self.xnack_enabled:
             cost = self._config.allocator_costs.managed_xnack_alloc_ns
@@ -161,7 +169,9 @@ class MemoryManager:
             )
         cost = pinned_alloc_cost_ns(self._config, size, managed=True)
         self._clock.advance(cost)
-        vma = self._up_front_vma(size, name, pinned=True, contiguous=False)
+        vma = self._up_front_vma(
+            size, name, pinned=True, contiguous=False, frame_range=frame_range
+        )
         return self._register(
             Allocation(vma, AllocatorKind.HIP_MALLOC_MANAGED, size, False,
                        True, False, cost)
@@ -171,24 +181,38 @@ class MemoryManager:
     # Up-front allocators
     # ------------------------------------------------------------------
 
-    def hip_malloc(self, size: int, name: str = "hipMalloc") -> Allocation:
+    def hip_malloc(
+        self,
+        size: int,
+        name: str = "hipMalloc",
+        frame_range: Optional[Tuple[int, int]] = None,
+    ) -> Allocation:
         """The standard GPU allocator: up-front, contiguous, GPU-mapped.
 
         Physical frames come as large aligned chunks, so the driver's
         fragment scan encodes big fragments (few GPU TLB misses, Fig. 9)
         and the channel interleave is perfectly balanced (full Infinity
         Cache utilisation, Section 5.4).  On UPM the CPU can access the
-        buffer too; its PTEs appear lazily via fault-around.
+        buffer too; its PTEs appear lazily via fault-around.  Under NPS4
+        the runtime passes *frame_range* to home the buffer in the
+        current logical device's local NUMA domain.
         """
         cost = hip_malloc_cost_ns(self._config, size)
         self._clock.advance(cost)
-        vma = self._up_front_vma(size, name, pinned=True, contiguous=True)
+        vma = self._up_front_vma(
+            size, name, pinned=True, contiguous=True, frame_range=frame_range
+        )
         return self._register(
             Allocation(vma, AllocatorKind.HIP_MALLOC, size, False, True,
                        self.xnack_enabled, cost)
         )
 
-    def hip_host_malloc(self, size: int, name: str = "hipHostMalloc") -> Allocation:
+    def hip_host_malloc(
+        self,
+        size: int,
+        name: str = "hipHostMalloc",
+        frame_range: Optional[Tuple[int, int]] = None,
+    ) -> Allocation:
         """Page-locked host allocation, GPU-mapped up-front.
 
         Pages are pinned one by one, so the physical layout is balanced
@@ -198,7 +222,9 @@ class MemoryManager:
         """
         cost = pinned_alloc_cost_ns(self._config, size, managed=False)
         self._clock.advance(cost)
-        vma = self._up_front_vma(size, name, pinned=True, contiguous=False)
+        vma = self._up_front_vma(
+            size, name, pinned=True, contiguous=False, frame_range=frame_range
+        )
         return self._register(
             Allocation(vma, AllocatorKind.HIP_HOST_MALLOC, size, False, True,
                        self.xnack_enabled, cost)
@@ -291,7 +317,12 @@ class MemoryManager:
     # ------------------------------------------------------------------
 
     def _up_front_vma(
-        self, size: int, name: str, pinned: bool, contiguous: bool
+        self,
+        size: int,
+        name: str,
+        pinned: bool,
+        contiguous: bool,
+        frame_range: Optional[Tuple[int, int]] = None,
     ) -> VMA:
         """Create a VMA with physical frames allocated immediately.
 
@@ -299,6 +330,7 @@ class MemoryManager:
         but minimally contiguous pages (pinned host memory, pinned in
         pairs).  The GPU page table is populated right away; CPU PTEs
         appear lazily via fault-around (Fig. 10's low fault counts).
+        *frame_range* confines the frames to one NUMA domain's window.
         """
         vma = self._as.mmap(size, name=name, pinned=pinned)
         vma.gpu_access = GPU_ACCESS_ALWAYS
@@ -307,11 +339,15 @@ class MemoryManager:
             chunk_pages = max(
                 1, self._config.policy.up_front_contiguity_bytes // PAGE_SIZE
             )
-            frames = self._physical.alloc_chunks(vma.npages, chunk_pages)
+            frames = self._physical.alloc_chunks(
+                vma.npages, chunk_pages, frame_range=frame_range
+            )
         else:
             # Pinning grabs pages through the normal buddy path but in
             # allocation order (balanced across channels), landing pairs.
-            frames = self._physical.alloc_chunks(vma.npages, 2)
+            frames = self._physical.alloc_chunks(
+                vma.npages, 2, frame_range=frame_range
+            )
         vma.frames[:] = frames
         self._hmm.gpu.map_range(vma, 0, vma.npages)
         return vma

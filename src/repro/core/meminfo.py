@@ -19,10 +19,14 @@ interface over the simulated system, plus the libnuma-based peak sampler.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from .allocators import AllocatorKind, MemoryManager
 from .physical import PhysicalMemory
+
+if TYPE_CHECKING:
+    from ..hw.hbm import HBMSubsystem
+    from ..partition.logical_device import LogicalDevice
 
 #: Allocator kinds whose usage hipMemGetInfo / rocm-smi can see.
 _HIP_DEVICE_KINDS = (AllocatorKind.HIP_MALLOC, AllocatorKind.STATIC_DEVICE)
@@ -68,6 +72,35 @@ def hip_mem_get_info(manager: MemoryManager, physical: PhysicalMemory) -> Tuple[
         if a.kind in _HIP_DEVICE_KINDS
     )
     return total - hip_used, total
+
+
+def hip_mem_get_info_device(
+    manager: MemoryManager,
+    physical: PhysicalMemory,
+    hbm: "HBMSubsystem",
+    device: "LogicalDevice",
+) -> Tuple[int, int]:
+    """``hipMemGetInfo`` as one *logical device* reports it.
+
+    Partitioned modes make the interface's blind spots NUMA-shaped:
+    total is the capacity of the device's visible stacks (the whole pool
+    in NPS1, one quadrant in NPS4), and the used figure counts only
+    hipMalloc-style frames homed in that visible range — a buffer placed
+    in another quadrant is invisible here even though the XCDs could
+    reach it over the fabric.
+    """
+    total = device.memory_capacity_bytes
+    if hbm.numa_domains == 1:
+        return hip_mem_get_info(manager, physical)
+    lo, hi = hbm.domain_frame_range(device.numa_domain)
+    used = 0
+    for a in manager.allocations:
+        if a.kind not in _HIP_DEVICE_KINDS:
+            continue
+        frames = a.vma.resident_frames()
+        if frames.size:
+            used += int(((frames >= lo) & (frames < hi)).sum()) * 4096
+    return total - used, total
 
 
 def rocm_smi_used_bytes(manager: MemoryManager) -> int:

@@ -22,7 +22,7 @@ bit-identically.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -91,7 +91,12 @@ class PhysicalMemory:
     # Contiguous (up-front) allocation
     # ------------------------------------------------------------------
 
-    def alloc_chunks(self, npages: int, chunk_pages: int) -> np.ndarray:
+    def alloc_chunks(
+        self,
+        npages: int,
+        chunk_pages: int,
+        frame_range: Optional[Tuple[int, int]] = None,
+    ) -> np.ndarray:
         """Allocate *npages* frames as aligned contiguous chunks.
 
         Frames are returned in allocation order: whole chunks of
@@ -99,6 +104,10 @@ class PhysicalMemory:
         a final partial chunk if *npages* is not a multiple.  This is the
         up-front allocator path (hipMalloc and friends): the driver can
         later encode each chunk as a single large fragment.
+
+        *frame_range* restricts the search to the half-open frame window
+        ``[lo, hi)`` — the NPS4 placement path, where a partition-local
+        allocation must stay inside one NUMA domain's physical quadrant.
         """
         if npages <= 0:
             raise ValueError(f"npages must be positive, got {npages}")
@@ -110,7 +119,7 @@ class PhysicalMemory:
             )
         full_chunks, tail = divmod(npages, chunk_pages)
         starts = self._find_aligned_runs(
-            full_chunks + (1 if tail else 0), chunk_pages
+            full_chunks + (1 if tail else 0), chunk_pages, frame_range
         )
         frames = np.concatenate(
             [np.arange(s, s + chunk_pages, dtype=np.int64) for s in starts]
@@ -119,14 +128,39 @@ class PhysicalMemory:
         self._claim(frames)
         return frames
 
-    def _find_aligned_runs(self, count: int, chunk_pages: int) -> np.ndarray:
+    def _check_range(self, frame_range: Tuple[int, int]) -> Tuple[int, int]:
+        lo, hi = frame_range
+        if not 0 <= lo < hi <= self._total_frames:
+            raise ValueError(
+                f"frame range [{lo}, {hi}) outside pool of "
+                f"{self._total_frames} frames"
+            )
+        return lo, hi
+
+    def _find_aligned_runs(
+        self,
+        count: int,
+        chunk_pages: int,
+        frame_range: Optional[Tuple[int, int]] = None,
+    ) -> np.ndarray:
         """Find *count* free, aligned runs of *chunk_pages* frames each."""
         if count == 0:
             return np.empty(0, dtype=np.int64)
         # View the bitmap as aligned blocks and find fully-free blocks.
-        usable = (self._total_frames // chunk_pages) * chunk_pages
-        blocks = self._free[:usable].reshape(-1, chunk_pages)
-        candidates = np.flatnonzero(blocks.all(axis=1))
+        if frame_range is None:
+            first_block = 0
+            usable = (self._total_frames // chunk_pages) * chunk_pages
+        else:
+            lo, hi = self._check_range(frame_range)
+            first_block = -(-lo // chunk_pages)  # align the window start up
+            usable = (hi // chunk_pages) * chunk_pages
+        base = first_block * chunk_pages
+        if base >= usable:
+            raise OutOfMemoryError(
+                f"frame range too small for {chunk_pages}-page chunks"
+            )
+        blocks = self._free[base:usable].reshape(-1, chunk_pages)
+        candidates = first_block + np.flatnonzero(blocks.all(axis=1))
         if len(candidates) < count:
             raise OutOfMemoryError(
                 f"cannot find {count} contiguous runs of {chunk_pages} pages "
@@ -148,7 +182,10 @@ class PhysicalMemory:
     # ------------------------------------------------------------------
 
     def alloc_scattered(
-        self, npages: int, pair_fraction: Optional[float] = None
+        self,
+        npages: int,
+        pair_fraction: Optional[float] = None,
+        frame_range: Optional[Tuple[int, int]] = None,
     ) -> np.ndarray:
         """Allocate *npages* frames one page at a time, with free-list bias.
 
@@ -157,6 +194,9 @@ class PhysicalMemory:
         a configurable fraction of draws land an adjacent free pair
         (modelling occasional buddy-allocator luck).  The result is low
         physical contiguity and an uneven channel histogram.
+
+        *frame_range* restricts draws to the half-open window ``[lo, hi)``
+        (NPS4 placement: scattered pages stay in one NUMA domain).
         """
         if npages <= 0:
             raise ValueError(f"npages must be positive, got {npages}")
@@ -172,16 +212,23 @@ class PhysicalMemory:
         # Some draws produce adjacent pairs: allocate those first in pairs.
         pair_pages = int(npages * pair_fraction) & ~1
         if pair_pages:
-            pairs = self._draw_scattered(pair_pages // 2, run=2)
+            pairs = self._draw_scattered(pair_pages // 2, run=2,
+                                         frame_range=frame_range)
             allocated.append(pairs)
             remaining -= len(pairs)
         if remaining:
-            singles = self._draw_scattered(remaining, run=1)
+            singles = self._draw_scattered(remaining, run=1,
+                                           frame_range=frame_range)
             allocated.append(singles)
         frames = np.concatenate(allocated)[:npages]
         return frames
 
-    def _draw_scattered(self, ndraws: int, run: int) -> np.ndarray:
+    def _draw_scattered(
+        self,
+        ndraws: int,
+        run: int,
+        frame_range: Optional[Tuple[int, int]] = None,
+    ) -> np.ndarray:
         """Draw *ndraws* free runs of length *run* from biased channels.
 
         Returns the flattened frame numbers (``ndraws * run`` entries) in
@@ -189,7 +236,11 @@ class PhysicalMemory:
         sampling stalls (nearly-full pool).
         """
         mod = self._residue_modulus
-        max_k = self._total_frames // mod
+        if frame_range is None:
+            lo, hi = 0, self._total_frames
+        else:
+            lo, hi = self._check_range(frame_range)
+        k_lo, k_hi = -(-lo // mod), hi // mod
         total = ndraws * run
         out = np.empty(total, dtype=np.int64)
         filled = 0
@@ -202,13 +253,13 @@ class PhysicalMemory:
             channels = rng.choice(
                 len(self._channel_weights), size=n, p=self._channel_weights
             )
-            ks = rng.integers(0, max(max_k - 1, 1), size=n)
+            ks = rng.integers(k_lo, max(k_hi - 1, k_lo + 1), size=n)
             starts = self._channel_residue[channels] + ks * mod
             if run > 1:
                 # Buddy order-(run) blocks are naturally aligned; keep the
                 # alignment so the driver can encode them as fragments.
                 starts &= ~np.int64(run - 1)
-            starts = starts[starts + run <= self._total_frames]
+            starts = starts[(starts >= lo) & (starts + run <= hi)]
             ok = self._free[starts]
             for extra in range(1, run):
                 ok &= self._free[starts + extra]
@@ -233,7 +284,7 @@ class PhysicalMemory:
             attempts += 1
         if filled < total:
             # Pool too full for sampling: sweep for any free frames.
-            free_idx = np.flatnonzero(self._free)[: total - filled]
+            free_idx = lo + np.flatnonzero(self._free[lo:hi])[: total - filled]
             if len(free_idx) < total - filled:
                 raise OutOfMemoryError("physical pool exhausted")
             self._claim(free_idx)

@@ -309,6 +309,33 @@ class PolicyModel:
 
 
 @dataclass(frozen=True)
+class PartitionCostModel:
+    """Constants for the compute/memory partitioning model.
+
+    Calibrated against AMD's Instinct partitioning guide (see
+    SNIPPETS.md §1): NPS4 localisation buys 5-10% stream bandwidth in
+    partition-local streaming, remote (cross-domain) accesses pay an
+    extra IOD-to-IOD Infinity Fabric hop, and CPX mode shaves a little
+    off kernel-launch overhead because each launch targets one XCD.
+    """
+
+    #: Fractional STREAM bandwidth gain for partition-local accesses in
+    #: NPS4 (the guide's headline: "5-10% higher bandwidths in stream
+    #: benchmarks" from localisation; no inter-IOD traffic).
+    nps4_local_bandwidth_uplift: float = 0.07
+    #: Bandwidth factor for cross-domain accesses in NPS4: the data is
+    #: interleaved over only 2 remote stacks and every request crosses
+    #: the IOD-to-IOD fabric, so remote streams run well below local.
+    nps4_remote_bandwidth_factor: float = 0.55
+    #: Extra load-to-use latency (ns) for a cross-domain access in NPS4
+    #: (one additional IOD-to-IOD Infinity Fabric hop).
+    nps4_remote_latency_extra_ns: float = 105.0
+    #: Kernel-launch overhead factor in CPX mode (the guide notes
+    #: "additional small savings for kernel launch in CPX mode").
+    cpx_launch_overhead_factor: float = 0.9
+
+
+@dataclass(frozen=True)
 class MI300AConfig:
     """Full configuration of one simulated MI300A APU.
 
@@ -370,6 +397,7 @@ class MI300AConfig:
     atomics: AtomicsCostModel = field(default_factory=AtomicsCostModel)
     bandwidth: BandwidthModel = field(default_factory=BandwidthModel)
     policy: PolicyModel = field(default_factory=PolicyModel)
+    partition_costs: PartitionCostModel = field(default_factory=PartitionCostModel)
 
     def replace(self, **changes: object) -> "MI300AConfig":
         """Return a copy of this config with *changes* applied."""

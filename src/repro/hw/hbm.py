@@ -5,13 +5,21 @@ memory channels, for 128 channels total.  Physical pages are interleaved
 among the stacks at 4 KiB granularity (paper Section 5.4), so the memory
 channel serving a physical page is a pure function of its frame number.
 
+The subsystem also models the NPS memory-partitioning modes of the
+Instinct partitioning guide (SNIPPETS.md §1): in NPS1 (the default, and
+the paper's testbed) the whole physical range interleaves across all
+eight stacks; in NPS4 the range splits into four equal NUMA domains, one
+per IOD, each interleaving only across that IOD's two stacks.  The
+frame→(stack, channel) mapping stays a pure function of the frame number
+in every mode.
+
 This module provides that mapping plus per-channel traffic accounting used
 by the Infinity Cache balance model.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -19,12 +27,32 @@ from .config import HBMGeometry, PAGE_SIZE
 
 
 class HBMSubsystem:
-    """Maps physical frames to stacks/channels and tracks traffic."""
+    """Maps physical frames to stacks/channels and tracks traffic.
 
-    def __init__(self, geometry: HBMGeometry) -> None:
+    Args:
+        geometry: the HBM organisation to model.
+        numa_domains: number of NPS memory partitions (1 for NPS1, 4 for
+            NPS4).  Domain *d* owns the contiguous frame range
+            ``[d * frames_per_domain, (d+1) * frames_per_domain)`` and
+            interleaves it across the stacks ``d, d + numa_domains, ...``
+            — the stacks hosted by IOD *d* in the package topology.
+    """
+
+    def __init__(self, geometry: HBMGeometry, numa_domains: int = 1) -> None:
         if geometry.interleave_bytes % PAGE_SIZE != 0:
             raise ValueError("interleave granularity must be a page multiple")
+        if numa_domains < 1 or geometry.stacks % numa_domains != 0:
+            raise ValueError(
+                f"numa_domains must divide the {geometry.stacks} stacks, "
+                f"got {numa_domains}"
+            )
+        total_frames = geometry.capacity_bytes // PAGE_SIZE
+        if total_frames % numa_domains != 0:
+            raise ValueError("domains must split the pool evenly")
         self._geometry = geometry
+        self._numa_domains = numa_domains
+        self._frames_per_domain = total_frames // numa_domains
+        self._stacks_per_domain = geometry.stacks // numa_domains
         self._channel_bytes = np.zeros(geometry.channels, dtype=np.int64)
 
     @property
@@ -37,28 +65,82 @@ class HBMSubsystem:
         """Total HBM capacity in bytes."""
         return self._geometry.capacity_bytes
 
+    @property
+    def numa_domains(self) -> int:
+        """Number of NPS memory partitions (1 = NPS1, 4 = NPS4)."""
+        return self._numa_domains
+
+    @property
+    def frames_per_domain(self) -> int:
+        """Frames in each NUMA domain's contiguous physical range."""
+        return self._frames_per_domain
+
+    def domain_of_frame(self, frame: int) -> int:
+        """NUMA domain owning physical frame number *frame*."""
+        return frame // self._frames_per_domain
+
+    def domain_frame_range(self, domain: int) -> Tuple[int, int]:
+        """Half-open frame range ``[lo, hi)`` of one NUMA domain."""
+        self._check_domain(domain)
+        lo = domain * self._frames_per_domain
+        return lo, lo + self._frames_per_domain
+
+    def stacks_of_domain(self, domain: int) -> List[int]:
+        """Stack indices a NUMA domain interleaves over.
+
+        Domain *d* owns the stacks hosted by IOD *d* (stack indices
+        congruent to *d* modulo the domain count); in NPS1 the single
+        domain owns every stack.
+        """
+        self._check_domain(domain)
+        return [
+            s for s in range(self._geometry.stacks)
+            if s % self._numa_domains == domain
+        ]
+
+    def channels_of_domain(self, domain: int) -> List[int]:
+        """Memory-channel indices served by a NUMA domain's stacks."""
+        lanes = self._geometry.channels_per_stack
+        return [
+            s * lanes + lane
+            for s in self.stacks_of_domain(domain)
+            for lane in range(lanes)
+        ]
+
+    def _check_domain(self, domain: int) -> None:
+        if not 0 <= domain < self._numa_domains:
+            raise IndexError(
+                f"domain {domain} out of range [0, {self._numa_domains})"
+            )
+
     def stack_of_frame(self, frame: int) -> int:
         """Stack index serving physical frame number *frame*.
 
-        Frames are interleaved round-robin across stacks at the interleave
-        granularity (one 4 KiB page per stack by default).
+        Frames are interleaved round-robin at the interleave granularity
+        (one 4 KiB page per stack by default) across the owning domain's
+        stacks — all of them in NPS1, the local IOD's two in NPS4.
         """
         pages_per_unit = self._geometry.interleave_bytes // PAGE_SIZE
-        return (frame // pages_per_unit) % self._geometry.stacks
+        domain = frame // self._frames_per_domain
+        local_unit = (frame % self._frames_per_domain) // pages_per_unit
+        return domain + self._numa_domains * (local_unit % self._stacks_per_domain)
 
     def channel_of_frame(self, frame: int) -> int:
         """Memory channel index serving physical frame number *frame*.
 
         Within a stack, consecutive interleave units rotate across that
         stack's channels, so a long contiguous physical range touches every
-        channel evenly — this is why up-front contiguous allocations achieve
-        balanced Infinity Cache slice utilisation (paper Section 5.4).
+        channel of its domain evenly — this is why up-front contiguous
+        allocations achieve balanced Infinity Cache slice utilisation
+        (paper Section 5.4); in NPS4 the rotation covers only the local
+        domain's 32 channels.
         """
         geo = self._geometry
         pages_per_unit = geo.interleave_bytes // PAGE_SIZE
-        unit = frame // pages_per_unit
-        stack = unit % geo.stacks
-        lane = (unit // geo.stacks) % geo.channels_per_stack
+        domain = frame // self._frames_per_domain
+        unit = (frame % self._frames_per_domain) // pages_per_unit
+        stack = domain + self._numa_domains * (unit % self._stacks_per_domain)
+        lane = (unit // self._stacks_per_domain) % geo.channels_per_stack
         return stack * geo.channels_per_stack + lane
 
     def channels_of_frames(self, frames: Sequence[int]) -> np.ndarray:
@@ -66,10 +148,19 @@ class HBMSubsystem:
         geo = self._geometry
         arr = np.asarray(frames, dtype=np.int64)
         pages_per_unit = geo.interleave_bytes // PAGE_SIZE
-        unit = arr // pages_per_unit
-        stack = unit % geo.stacks
-        lane = (unit // geo.stacks) % geo.channels_per_stack
+        domain = arr // self._frames_per_domain
+        unit = (arr % self._frames_per_domain) // pages_per_unit
+        stack = domain + self._numa_domains * (unit % self._stacks_per_domain)
+        lane = (unit // self._stacks_per_domain) % geo.channels_per_stack
         return stack * geo.channels_per_stack + lane
+
+    def local_fraction(self, frames: Sequence[int], domain: int) -> float:
+        """Fraction of *frames* resident in *domain* (1.0 for empty sets)."""
+        self._check_domain(domain)
+        arr = np.asarray(frames, dtype=np.int64)
+        if arr.size == 0:
+            return 1.0
+        return float(np.mean(arr // self._frames_per_domain == domain))
 
     def channel_histogram(self, frames: Sequence[int]) -> np.ndarray:
         """Bytes-per-channel histogram for a set of resident frames."""

@@ -14,7 +14,7 @@ bandwidth models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -62,7 +62,11 @@ class InfinityCache:
         """Total Infinity Cache capacity."""
         return self._geometry.capacity_bytes
 
-    def residency(self, frames: Sequence[int]) -> ICResidency:
+    def residency(
+        self,
+        frames: Sequence[int],
+        visible_channels: Optional[Sequence[int]] = None,
+    ) -> ICResidency:
         """Estimate steady-state IC behaviour for a buffer's frame set.
 
         For a buffer streamed repeatedly (the paper's pointer-chase and
@@ -70,6 +74,11 @@ class InfinityCache:
         much of each channel's share of the buffer fits in that channel's
         slice.  A perfectly interleaved buffer no larger than the IC gets
         hit_fraction 1.0; a biased mapping saturates the hot slices first.
+
+        *visible_channels* restricts the usable slices to a subset — the
+        partition-aware view: a logical device in a partitioned mode can
+        only warm the slices of the channels its traffic reaches, so bytes
+        homed on other channels are uncacheable from its perspective.
         """
         frames = np.asarray(frames, dtype=np.int64)
         working_set = int(frames.size) * 4096
@@ -77,12 +86,28 @@ class InfinityCache:
             return ICResidency(0, 0.0, 1.0, 1.0)
         histogram = self._hbm.channel_histogram(frames)
         balance = channel_balance(histogram)
-        hit_fraction = effective_slice_hit_fraction(
-            histogram, self._geometry.slice_capacity_bytes
-        )
+        if visible_channels is None:
+            hit_fraction = effective_slice_hit_fraction(
+                histogram, self._geometry.slice_capacity_bytes
+            )
+        else:
+            visible = np.zeros(len(histogram), dtype=bool)
+            visible[np.asarray(visible_channels, dtype=np.int64)] = True
+            covered = np.minimum(
+                histogram[visible], self._geometry.slice_capacity_bytes
+            ).sum()
+            hit_fraction = float(covered) / float(histogram.sum())
         capacity_fraction = working_set / self._geometry.capacity_bytes
         return ICResidency(working_set, capacity_fraction, balance, hit_fraction)
 
-    def hit_fraction(self, frames: Sequence[int]) -> float:
+    def hit_fraction(
+        self,
+        frames: Sequence[int],
+        visible_channels: Optional[Sequence[int]] = None,
+    ) -> float:
         """Shorthand for ``residency(frames).hit_fraction``."""
-        return self.residency(frames).hit_fraction
+        return self.residency(frames, visible_channels).hit_fraction
+
+    def slice_subset_capacity_bytes(self, channels: Sequence[int]) -> int:
+        """Aggregate capacity of the slices serving a channel subset."""
+        return len(set(int(c) for c in channels)) * self._geometry.slice_capacity_bytes

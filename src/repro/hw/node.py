@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 import networkx as nx
 
 from ..core.allocators import Allocation, AllocatorKind
+from ..partition.modes import PartitionConfig
 from .config import MI300AConfig
 
 
@@ -66,6 +67,7 @@ class MI300ANode:
         apu_memory_gib: Optional[int] = None,
         xnack: bool = False,
         seed: int = 0x1300A,
+        partition: Optional[PartitionConfig] = None,
     ) -> None:
         self.config = node_config if node_config is not None else NodeConfig()
         self._apu_memory_gib = apu_memory_gib
@@ -75,6 +77,8 @@ class MI300ANode:
         self._graph = nx.complete_graph(self.config.apus_per_node)
         self._link_traffic: Dict[Tuple[int, int], int] = {}
         self._visible: Optional[List[int]] = None
+        self._default_partition = partition
+        self._partitions: Dict[int, PartitionConfig] = {}
 
     # ------------------------------------------------------------------
     # APU access / binding
@@ -93,8 +97,26 @@ class MI300ANode:
             self._apus[index] = make_apu(
                 self._apu_memory_gib, xnack=self._xnack,
                 seed=self._seed + index,
+                partition=self.partition_of(index),
             )
         return self._apus[index]
+
+    def partition_of(self, index: int) -> Optional[PartitionConfig]:
+        """The partition mode APU *index* will boot with (None = SPX/NPS1)."""
+        self._check_index(index)
+        return self._partitions.get(index, self._default_partition)
+
+    def set_partition(self, index: int, partition: PartitionConfig) -> None:
+        """Repartition one APU, amd-smi style.
+
+        Like ``amd-smi set --compute-partition/--memory-partition``, the
+        mode change requires the accelerator to be idle: any existing
+        simulated APU state at *index* (allocations, clock, page tables)
+        is discarded and the APU is rebuilt on next use.
+        """
+        self._check_index(index)
+        self._partitions[index] = partition
+        self._apus.pop(index, None)
 
     def bind(self, index: int) -> "APU":
         """numactl + HIP_VISIBLE_DEVICES: restrict the process to one APU.
@@ -105,6 +127,18 @@ class MI300ANode:
         self._check_index(index)
         self._visible = [index]
         return self.apu(index)
+
+    def bind_logical(self, index: int, device: int) -> Tuple["APU", object]:
+        """Bind to one *logical* device of a partitioned APU.
+
+        The partitioned analogue of :meth:`bind`: the paper pins a
+        process to one APU with numactl + HIP_VISIBLE_DEVICES, and on a
+        repartitioned node the same recipe pins it to one logical device
+        (e.g. one CPX XCD with its NPS4 quadrant).  Returns the APU and
+        the selected :class:`~repro.partition.LogicalDevice`.
+        """
+        apu = self.bind(index)
+        return apu, apu.placement.device(device)
 
     def unbind(self) -> None:
         """Make all APUs visible again."""

@@ -91,6 +91,36 @@ class APUTopology:
         """A shortest path between two nodes."""
         return nx.shortest_path(self._graph, src, dst)
 
+    # ------------------------------------------------------------------
+    # Partition-aware views (repro.partition builds on these)
+    # ------------------------------------------------------------------
+
+    def iod_of_xcd(self, xcd: int) -> int:
+        """IOD index hosting XCD *xcd* (every two XCDs share an IOD)."""
+        if not 0 <= xcd < self._config.xcd_count:
+            raise IndexError(f"XCD index {xcd} out of range")
+        return xcd // 2
+
+    def xcds_of_iod(self, iod: int) -> List[int]:
+        """XCD indices hosted by IOD *iod* (empty for the CCD IOD)."""
+        if not 0 <= iod < self._config.iod_count:
+            raise IndexError(f"IOD index {iod} out of range")
+        return [x for x in range(self._config.xcd_count) if x // 2 == iod]
+
+    def stacks_of_iod(self, iod: int) -> List[int]:
+        """HBM stack indices whose PHY lives on IOD *iod*.
+
+        Mirrors the graph's ``hbm<s> -- iod<s % iod_count>`` edges: with
+        8 stacks over 4 IODs, IOD *i* hosts stacks *i* and *i + 4*.
+        These per-IOD stack pairs are the NPS4 NUMA domains.
+        """
+        if not 0 <= iod < self._config.iod_count:
+            raise IndexError(f"IOD index {iod} out of range")
+        return [
+            s for s in range(self._config.hbm.stacks)
+            if s % self._config.iod_count == iod
+        ]
+
     def memory_reachable_from_all(self) -> bool:
         """True when every compute chiplet can reach every HBM stack.
 

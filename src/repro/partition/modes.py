@@ -1,0 +1,128 @@
+"""Compute (SPX/TPX/CPX) and memory (NPS1/NPS4) partitioning modes.
+
+The MI300A's six XCDs and four IODs are normally presented as one
+logical GPU over one interleaved memory pool — the view the paper
+characterises.  The same silicon supports repartitioning (AMD Instinct
+partitioning guide, SNIPPETS.md §1), set with ``amd-smi set
+--compute-partition`` / ``--memory-partition``:
+
+* **Compute partitioning** (Modular Chiplet Platform): SPX presents all
+  six XCDs as one device, TPX presents three devices of two XCDs (one
+  per GPU IOD), CPX presents each XCD as its own device with explicit
+  workgroup placement.
+* **Memory partitioning** (NUMA Per Socket): NPS1 interleaves physical
+  memory across all eight HBM stacks; NPS4 splits it into four NUMA
+  domains, each interleaved over the two stacks of one IOD.
+
+The guide's constraint is that there can be at most as many memory
+partitions as compute partitions, so NPS4 (four domains) requires CPX
+(six devices) on this part — TPX only exposes three.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+class InvalidPartitionError(ValueError):
+    """An unsupported compute/memory partition combination was requested."""
+
+
+class ComputePartition(enum.Enum):
+    """Compute partitioning mode: how XCDs group into logical devices."""
+
+    SPX = "SPX"  # Single Partition X-celerator: one device, all XCDs
+    TPX = "TPX"  # Triple Partition X-celerator: one device per GPU IOD
+    CPX = "CPX"  # Core Partitioned X-celerator: one device per XCD
+
+    def device_count(self, xcd_count: int = 6) -> int:
+        """Logical devices this mode carves out of *xcd_count* XCDs."""
+        per_device = self.xcds_per_device(xcd_count)
+        return xcd_count // per_device
+
+    def xcds_per_device(self, xcd_count: int = 6) -> int:
+        """XCDs fused into each logical device."""
+        if self is ComputePartition.SPX:
+            return xcd_count
+        if self is ComputePartition.TPX:
+            if xcd_count % 3 != 0:
+                raise InvalidPartitionError(
+                    f"TPX needs an XCD count divisible by 3, got {xcd_count}"
+                )
+            return xcd_count // 3
+        return 1
+
+
+class MemoryPartition(enum.Enum):
+    """Memory partitioning mode: how HBM stacks group into NUMA domains."""
+
+    NPS1 = "NPS1"  # one domain interleaved across every stack
+    NPS4 = "NPS4"  # one domain per IOD (two stacks each)
+
+    @property
+    def numa_domains(self) -> int:
+        """NUMA domains this mode exposes."""
+        return 1 if self is MemoryPartition.NPS1 else 4
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """A validated compute/memory partition mode pair.
+
+    The default (SPX/NPS1) is the paper's testbed configuration: one
+    logical device over one interleaved pool, so a default-constructed
+    config leaves every existing model unchanged.
+    """
+
+    compute: ComputePartition = ComputePartition.SPX
+    memory: MemoryPartition = MemoryPartition.NPS1
+
+    def __post_init__(self) -> None:
+        # The guide's compatibility matrix: memory partitions must not
+        # outnumber compute partitions (NPS4 is a CPX-only mode here).
+        if self.memory.numa_domains > self.compute.device_count():
+            raise InvalidPartitionError(
+                f"{self.memory.value} exposes {self.memory.numa_domains} "
+                f"memory domains but {self.compute.value} only "
+                f"{self.compute.device_count()} compute partitions"
+            )
+
+    @property
+    def device_count(self) -> int:
+        """Logical GPU devices visible in this mode (MI300A: 6 XCDs)."""
+        return self.compute.device_count()
+
+    @property
+    def numa_domains(self) -> int:
+        """NUMA memory domains visible in this mode."""
+        return self.memory.numa_domains
+
+    def xcds_of_device(self, device: int, xcd_count: int = 6) -> Tuple[int, ...]:
+        """The physical XCD indices fused into logical device *device*.
+
+        Devices take consecutive XCD groups, so a TPX device's two XCDs
+        share an IOD and a CPX device is a single XCD.
+        """
+        count = self.compute.device_count(xcd_count)
+        if not 0 <= device < count:
+            raise IndexError(f"device {device} out of range [0, {count})")
+        per_device = self.compute.xcds_per_device(xcd_count)
+        return tuple(range(device * per_device, (device + 1) * per_device))
+
+    def describe(self) -> str:
+        """The amd-smi style mode label, e.g. ``CPX/NPS4``."""
+        return f"{self.compute.value}/{self.memory.value}"
+
+
+def all_valid_modes() -> List[PartitionConfig]:
+    """Every compute/memory combination the compatibility matrix allows."""
+    modes = []
+    for compute in ComputePartition:
+        for memory in MemoryPartition:
+            try:
+                modes.append(PartitionConfig(compute, memory))
+            except InvalidPartitionError:
+                continue
+    return modes

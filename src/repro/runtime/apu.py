@@ -24,6 +24,7 @@ from ..hw.config import MI300AConfig, default_config
 from ..hw.hbm import HBMSubsystem, channel_balance
 from ..hw.infinity_cache import InfinityCache
 from ..hw.topology import APUTopology
+from ..partition import PartitionConfig, PartitionPlacement
 from ..perf.bandwidth import BufferTraits
 from .device import CPUComplex, GPUDevice
 from .stream import StreamRegistry
@@ -39,6 +40,9 @@ class APU:
             GPU page-fault replay; flips the on-demand allocators of
             Table 1).
         seed: seed for the deterministic allocation/fault randomness.
+        partition: compute/memory partition mode pair; defaults to
+            SPX/NPS1 (the paper's testbed), which leaves every model
+            identical to the unpartitioned APU.
     """
 
     def __init__(
@@ -46,10 +50,12 @@ class APU:
         config: Optional[MI300AConfig] = None,
         xnack: bool = False,
         seed: int = 0x1300A,
+        partition: Optional[PartitionConfig] = None,
     ) -> None:
         from ..core.physical import PhysicalMemory  # local to keep import light
 
         self.config = config if config is not None else default_config()
+        self.partition = partition if partition is not None else PartitionConfig()
         self.clock = SimClock()
         self.physical = PhysicalMemory(self.config, seed=seed)
         self.address_space = AddressSpace()
@@ -67,9 +73,15 @@ class APU:
             self.faults,
             self.clock,
         )
-        self.hbm_map = HBMSubsystem(self.config.hbm)
+        self.hbm_map = HBMSubsystem(
+            self.config.hbm, numa_domains=self.partition.numa_domains
+        )
         self.infinity_cache = InfinityCache(self.config.infinity_cache, self.hbm_map)
         self.topology = APUTopology(self.config)
+        self.placement = PartitionPlacement(
+            self.config, self.partition, self.physical, self.hbm_map
+        )
+        self.logical_devices = self.placement.devices
         self.gpu = GPUDevice(self.config)
         self.cpu = CPUComplex(self.config)
         self.streams = StreamRegistry(self.clock)
@@ -153,12 +165,16 @@ class APU:
     def __repr__(self) -> str:
         return (
             f"APU({self.config.name}, xnack={self.xnack}, "
+            f"partition={self.partition.describe()}, "
             f"t={self.clock.now_ns / 1e6:.3f} ms)"
         )
 
 
 def make_apu(
-    memory_gib: Optional[int] = None, xnack: bool = False, seed: int = 0x1300A
+    memory_gib: Optional[int] = None,
+    xnack: bool = False,
+    seed: int = 0x1300A,
+    partition: Optional[PartitionConfig] = None,
 ) -> APU:
     """Convenience constructor.
 
@@ -166,7 +182,12 @@ def make_apu(
     a down-scaled pool for fast tests (policies unchanged).
     """
     if memory_gib is None:
-        return APU(xnack=xnack, seed=seed)
+        return APU(xnack=xnack, seed=seed, partition=partition)
     from ..hw.config import small_config
 
-    return APU(config=small_config(memory_gib << 30), xnack=xnack, seed=seed)
+    return APU(
+        config=small_config(memory_gib << 30),
+        xnack=xnack,
+        seed=seed,
+        partition=partition,
+    )

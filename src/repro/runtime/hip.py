@@ -9,11 +9,12 @@ original; everything operates on one :class:`~repro.runtime.apu.APU`.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
 from ..core.allocators import Allocation
+from ..partition import LogicalDevice, PartitionConfig
 from .apu import APU
 from .arrays import DeviceArray, Shape
 from .kernels import KernelEngine, KernelResult, KernelSpec
@@ -47,6 +48,60 @@ class HipRuntime:
         self.apu = apu
         self.sdma_enabled = sdma_enabled
         self._engine = KernelEngine(apu)
+        self._current_device = 0
+
+    # ------------------------------------------------------------------
+    # Device management (partition-aware enumeration)
+    # ------------------------------------------------------------------
+
+    def hipGetDeviceCount(self) -> int:
+        """Logical GPU devices visible to this process.
+
+        One in the default SPX mode; the APU's partition mode can raise
+        this to three (TPX) or six (CPX), each logical device being a
+        subset of the package's XCDs.
+        """
+        return len(self.apu.logical_devices)
+
+    def hipSetDevice(self, device: int) -> None:
+        """Select the logical device subsequent calls operate on."""
+        if not 0 <= device < len(self.apu.logical_devices):
+            raise HipError(
+                f"hipErrorInvalidDevice: device {device} out of range "
+                f"[0, {len(self.apu.logical_devices)})"
+            )
+        self._current_device = device
+
+    def hipGetDevice(self) -> int:
+        """The currently selected logical device ordinal."""
+        return self._current_device
+
+    def hipDeviceGet(self, ordinal: int) -> LogicalDevice:
+        """The logical-device handle for *ordinal*."""
+        if not 0 <= ordinal < len(self.apu.logical_devices):
+            raise HipError(
+                f"hipErrorInvalidDevice: device {ordinal} out of range "
+                f"[0, {len(self.apu.logical_devices)})"
+            )
+        return self.apu.logical_devices[ordinal]
+
+    def hipGetDeviceProperties(self, device: Optional[int] = None) -> Dict[str, object]:
+        """hipDeviceProp_t-style summary of a logical device."""
+        handle = self.hipDeviceGet(
+            self._current_device if device is None else device
+        )
+        return {
+            "name": handle.name,
+            "multiProcessorCount": handle.compute_units,
+            "totalGlobalMem": handle.memory_capacity_bytes,
+            "l2CacheSize": handle.l2_slices * 4 * 1024 * 1024,
+            "isApu": True,
+        }
+
+    def _frame_range(self) -> Optional[Tuple[int, int]]:
+        # NPS4 placement: home up-front allocations in the current
+        # device's local quadrant (None in NPS1 = whole-pool path).
+        return self.apu.placement.frame_range(self._current_device)
 
     # ------------------------------------------------------------------
     # Memory management
@@ -54,15 +109,21 @@ class HipRuntime:
 
     def hipMalloc(self, nbytes: int, name: str = "hipMalloc") -> Allocation:
         """Allocate device-style memory (up-front, contiguous)."""
-        return self.apu.memory.hip_malloc(nbytes, name=name)
+        return self.apu.memory.hip_malloc(
+            nbytes, name=name, frame_range=self._frame_range()
+        )
 
     def hipHostMalloc(self, nbytes: int, name: str = "hipHostMalloc") -> Allocation:
         """Allocate page-locked host-style memory (up-front, pinned)."""
-        return self.apu.memory.hip_host_malloc(nbytes, name=name)
+        return self.apu.memory.hip_host_malloc(
+            nbytes, name=name, frame_range=self._frame_range()
+        )
 
     def hipMallocManaged(self, nbytes: int, name: str = "managed") -> Allocation:
         """Allocate managed memory (mode depends on XNACK, Table 1)."""
-        return self.apu.memory.hip_malloc_managed(nbytes, name=name)
+        return self.apu.memory.hip_malloc_managed(
+            nbytes, name=name, frame_range=self._frame_range()
+        )
 
     def malloc(self, nbytes: int, name: str = "malloc") -> Allocation:
         """libc malloc (exposed here for side-by-side benchmarks)."""
@@ -76,11 +137,27 @@ class HipRuntime:
         """Free any allocation (dispatches the right deallocator)."""
         self.apu.memory.free(_allocation(buffer))
 
-    def hipMemGetInfo(self) -> Tuple[int, int]:
-        """(free, total) as HIP reports it — hipMalloc visibility only."""
-        from ..core.meminfo import hip_mem_get_info
+    def hipMemGetInfo(self, device: Optional[int] = None) -> Tuple[int, int]:
+        """(free, total) as HIP reports it — hipMalloc visibility only.
 
-        return hip_mem_get_info(self.apu.memory, self.apu.physical)
+        With a partitioned APU the figures are per logical device:
+        *total* is the device's visible stack capacity and *used* counts
+        only hipMalloc frames homed there (see
+        :func:`repro.core.meminfo.hip_mem_get_info_device`).  *device*
+        defaults to the current one.
+        """
+        from ..core.meminfo import hip_mem_get_info, hip_mem_get_info_device
+
+        if device is None:
+            device = self._current_device
+        if device == 0 and self.apu.partition.numa_domains == 1:
+            return hip_mem_get_info(self.apu.memory, self.apu.physical)
+        return hip_mem_get_info_device(
+            self.apu.memory,
+            self.apu.physical,
+            self.apu.hbm_map,
+            self.hipDeviceGet(device),
+        )
 
     # Array conveniences -------------------------------------------------
 
@@ -101,14 +178,15 @@ class HipRuntime:
         nbytes = max(nbytes, 1)
         mem = self.apu.memory
         label = name or allocator
+        frame_range = self._frame_range()
         if allocator == "malloc":
             alloc = mem.malloc(nbytes, name=label)
         elif allocator == "hipMalloc":
-            alloc = mem.hip_malloc(nbytes, name=label)
+            alloc = mem.hip_malloc(nbytes, name=label, frame_range=frame_range)
         elif allocator == "hipHostMalloc":
-            alloc = mem.hip_host_malloc(nbytes, name=label)
+            alloc = mem.hip_host_malloc(nbytes, name=label, frame_range=frame_range)
         elif allocator == "hipMallocManaged":
-            alloc = mem.hip_malloc_managed(nbytes, name=label)
+            alloc = mem.hip_malloc_managed(nbytes, name=label, frame_range=frame_range)
         elif allocator == "malloc+register":
             alloc = mem.host_register(mem.malloc(nbytes, name=label))
         elif allocator == "managed_static":
@@ -261,8 +339,12 @@ def make_runtime(
     xnack: bool = False,
     sdma_enabled: bool = True,
     seed: int = 0x1300A,
+    partition: Optional[PartitionConfig] = None,
 ) -> HipRuntime:
     """Build an APU and its HIP runtime in one call."""
     from .apu import make_apu
 
-    return HipRuntime(make_apu(memory_gib, xnack=xnack, seed=seed), sdma_enabled)
+    return HipRuntime(
+        make_apu(memory_gib, xnack=xnack, seed=seed, partition=partition),
+        sdma_enabled,
+    )

@@ -74,3 +74,9 @@ class TestCommandsRun:
     def test_apps_unknown_app(self):
         with pytest.raises(SystemExit):
             main(["apps", "--app", "lud"])
+
+    def test_partition_quick(self, capsys):
+        assert main(["partition", "--quick"]) == 0
+        out = capsys.readouterr().out
+        for mode in ("SPX/NPS1", "TPX/NPS1", "CPX/NPS1", "CPX/NPS4"):
+            assert mode in out

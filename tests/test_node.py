@@ -94,6 +94,61 @@ class TestPeerTransfers:
             node.peer_memcpy(1, 0, buf, nbytes=8 * MiB)
 
 
+class TestEfficiencyClasses:
+    """Every allocator kind lands in the right peer-transfer tier."""
+
+    def test_managed_xnack_is_pageable_class(self, node):
+        # With XNACK the managed buffer is on-demand and unpinned, so
+        # the peer DMA path bounces through the fault path like malloc.
+        apu = node.apu(0)
+        managed = apu.memory.hip_malloc_managed(4 * MiB)
+        pageable = apu.memory.malloc(4 * MiB)
+        assert node.peer_bandwidth(managed) == node.peer_bandwidth(pageable)
+
+    def test_managed_noxnack_is_pinned_class(self):
+        node = MI300ANode(apu_memory_gib=1, xnack=False)
+        apu = node.apu(0)
+        managed = apu.memory.hip_malloc_managed(4 * MiB)
+        pinned = apu.memory.hip_host_malloc(4 * MiB)
+        assert node.peer_bandwidth(managed) == node.peer_bandwidth(pinned)
+        assert node.peer_bandwidth(managed) == pytest.approx(
+            node.config.xgmi_link_bandwidth_bytes_per_s
+            * node.config.pinned_efficiency
+        )
+
+    def test_host_register_promotes_to_pinned_class(self, node):
+        apu = node.apu(0)
+        buf = apu.memory.malloc(4 * MiB)
+        before = node.peer_bandwidth(buf)
+        apu.memory.host_register(buf)
+        after = node.peer_bandwidth(buf)
+        assert before == pytest.approx(
+            node.config.xgmi_link_bandwidth_bytes_per_s
+            * node.config.pageable_efficiency
+        )
+        assert after == pytest.approx(
+            node.config.xgmi_link_bandwidth_bytes_per_s
+            * node.config.pinned_efficiency
+        )
+
+    def test_static_device_is_device_class(self, node):
+        apu = node.apu(0)
+        static = apu.memory.static_device(4 * MiB)
+        assert node.peer_bandwidth(static) == pytest.approx(
+            node.config.xgmi_link_bandwidth_bytes_per_s
+        )
+
+    def test_transfer_duration_formula(self, node):
+        apu = node.apu(0)
+        buf = apu.memory.hip_malloc(8 * MiB)
+        duration = node.peer_memcpy(1, 0, buf)
+        cfg = node.config
+        expected = cfg.transfer_setup_ns + (8 * MiB) / (
+            cfg.xgmi_link_bandwidth_bytes_per_s * cfg.hipmalloc_efficiency
+        ) * 1e9
+        assert duration == pytest.approx(expected)
+
+
 class TestAllToAll:
     def test_allocator_ordering(self, node):
         times = {
@@ -110,3 +165,19 @@ class TestAllToAll:
     def test_unknown_kind_rejected(self, node):
         with pytest.raises(ValueError):
             node.all_to_all_time_ns(1 * MiB, "cudaMalloc")
+
+    def test_rounds_scale_with_node_size(self):
+        # (n-1) sequential rounds of parallel pair transfers.
+        small = MI300ANode(NodeConfig(apus_per_node=2), apu_memory_gib=1)
+        large = MI300ANode(NodeConfig(apus_per_node=8), apu_memory_gib=1)
+        t_small = small.all_to_all_time_ns(16 * MiB)
+        t_large = large.all_to_all_time_ns(16 * MiB)
+        assert t_large == pytest.approx(7 * t_small)
+
+    def test_matches_setup_plus_wire_time(self, node):
+        nbytes = 32 * MiB
+        cfg = node.config
+        per_round = cfg.transfer_setup_ns + nbytes / (
+            cfg.xgmi_link_bandwidth_bytes_per_s * cfg.hipmalloc_efficiency
+        ) * 1e9
+        assert node.all_to_all_time_ns(nbytes) == pytest.approx(3 * per_round)

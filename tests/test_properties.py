@@ -7,8 +7,12 @@ Invariants checked:
 * streaming-TLB closed form vs the exact LRU simulation,
 * address space: page_range arithmetic and find/mmap consistency,
 * cache hierarchy: hit fractions form a distribution, latency monotone,
-* fault handler: touching is idempotent and conserves physical frames.
+* fault handler: touching is idempotent and conserves physical frames,
+* HBM mapping: frame -> (stack, channel) is bijective per interleave
+  unit and respects the granularity, under both NPS1 and NPS4.
 """
+
+import dataclasses
 
 import numpy as np
 import pytest
@@ -206,6 +210,63 @@ class TestHBMProperties:
         hbm = HBMSubsystem(SMALL_CFG.hbm)
         hist = hbm.channel_histogram(np.array(frames))
         assert hist.sum() == len(frames) * PAGE_SIZE
+
+    @given(
+        numa_domains=st.sampled_from([1, 4]),
+        interleave_pages=st.sampled_from([1, 2, 4]),
+        raw_frames=st.lists(st.integers(0, 1 << 60), min_size=1, max_size=200),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_frame_mapping_bijective_and_granular(
+        self, numa_domains, interleave_pages, raw_frames
+    ):
+        # Frame -> (domain, stack, lane, rotation) must be invertible,
+        # stay on the domain's stacks, and keep every frame of one
+        # interleave unit on one channel — in NPS1 and NPS4 alike.
+        geo = dataclasses.replace(
+            SMALL_CFG.hbm, interleave_bytes=interleave_pages * PAGE_SIZE
+        )
+        hbm = HBMSubsystem(geo, numa_domains=numa_domains)
+        total = geo.capacity_bytes // PAGE_SIZE
+        lanes = geo.channels_per_stack
+        spd = geo.stacks // numa_domains
+        fpd = hbm.frames_per_domain
+        ppu = interleave_pages
+        for raw in raw_frames:
+            frame = raw % total
+            channel = hbm.channel_of_frame(frame)
+            stack, lane = channel // lanes, channel % lanes
+            domain = hbm.domain_of_frame(frame)
+            assert stack == hbm.stack_of_frame(frame)
+            assert stack % numa_domains == domain
+            # Invert the mapping: reconstruct the frame from its
+            # (domain, stack, lane, rotation, unit offset) coordinates.
+            unit = (frame % fpd) // ppu
+            rotation = unit // (spd * lanes)
+            unit_back = (
+                rotation * spd * lanes
+                + lane * spd
+                + (stack - domain) // numa_domains
+            )
+            assert unit_back == unit
+            frame_back = domain * fpd + unit_back * ppu + (frame % fpd) % ppu
+            assert frame_back == frame
+            # Interleave granularity: the whole unit shares the channel.
+            unit_start = frame - (frame % fpd) % ppu
+            for offset in range(ppu):
+                assert hbm.channel_of_frame(unit_start + offset) == channel
+
+    @given(numa_domains=st.sampled_from([1, 4]))
+    @settings(max_examples=8, deadline=None)
+    def test_full_domain_channel_histogram_uniform(self, numa_domains):
+        hbm = HBMSubsystem(SMALL_CFG.hbm, numa_domains=numa_domains)
+        for domain in range(numa_domains):
+            lo, hi = hbm.domain_frame_range(domain)
+            hist = hbm.channel_histogram(np.arange(lo, hi))
+            visible = np.zeros(SMALL_CFG.hbm.channels, dtype=bool)
+            visible[hbm.channels_of_domain(domain)] = True
+            assert (hist[~visible] == 0).all()
+            assert len(np.unique(hist[visible])) == 1  # perfectly even
 
 
 class TestFaultProperties:
