@@ -63,6 +63,12 @@ def main() -> None:
           f"{report.copy_time_ns / 1e6:.1f} ms of transfers — "
           "exactly the Listing 1 -> Listing 2 transformation.")
 
+    apu.memory.free(h_in)
+    apu.memory.free(d_in)
+    apu.memory.free(d_out)
+    apu.memory.free(h_out)
+    apu.memory.free(scratch)
+
 
 if __name__ == "__main__":
     main()

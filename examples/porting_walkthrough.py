@@ -54,7 +54,10 @@ def explicit_version(hip):
                     size_bytes=size)])
             )
         hip.hipDeviceSynchronize()
-    return (apu.clock.now_ns - start) / 1e6
+    elapsed = (apu.clock.now_ns - start) / 1e6
+    hip.hipFree(h_data)
+    hip.hipFree(d_data)
+    return elapsed
 
 
 def unified_version(hip):
@@ -76,7 +79,9 @@ def unified_version(hip):
                     size_bytes=size)])
             )
         hip.hipDeviceSynchronize()
-    return (apu.clock.now_ns - start) / 1e6
+    elapsed = (apu.clock.now_ns - start) / 1e6
+    hip.hipFree(data)
+    return elapsed
 
 
 def double_buffered_version(hip):
@@ -86,9 +91,15 @@ def double_buffered_version(hip):
     back = hip.array(TOTAL // 4, np.float32, "hipMalloc", name="back")
     buffers = DoubleBuffer(front, back)
     stream = hip.hipStreamCreate("compute")
+    # The event recorded after the kernel that last read each buffer;
+    # the producer waits on it before overwriting that buffer again.
+    guards = {}
     start = apu.clock.now_ns
     for _ in range(ITERATIONS):
         # CPU fills the back buffer while the GPU consumes the front one.
+        guard = guards.get(id(buffers.back.allocation))
+        if guard is not None:
+            hip.hipEventSynchronize(guard)
         hip.runCpuKernel(
             KernelSpec("produce", [BufferAccess(buffers.back.allocation,
                                                 "write")]),
@@ -101,8 +112,14 @@ def double_buffered_version(hip):
                                                 "read")]),
             stream,
         )
+        done = hip.hipEventCreate("consumed")
+        hip.hipEventRecord(done, stream)
+        guards[id(buffers.front.allocation)] = done
     hip.hipStreamSynchronize(stream)
-    return (apu.clock.now_ns - start) / 1e6
+    elapsed = (apu.clock.now_ns - start) / 1e6
+    hip.hipFree(front)
+    hip.hipFree(back)
+    return elapsed
 
 
 def main() -> None:

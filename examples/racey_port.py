@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""racey_port: a deliberately broken unified-memory port, one bug per rule.
+
+Each scenario below seeds exactly the kind of synchronisation or
+lifetime bug that bites real MI300A ports — the GPU kernel is
+asynchronous, unified memory makes wrong code *run*, and the result is
+silently corrupt instead of crashing.  Running the hipsan sanitizer
+(``repro.analyze``) over each traced run reports every one of them.
+
+This file is intentionally buggy: it is excluded from the CI lint gate
+and exists as the analyzer's regression fixture.
+
+Run:  python examples/racey_port.py
+"""
+
+import numpy as np
+
+from repro import BufferAccess, KernelSpec, make_runtime
+from repro.analyze import analyze_runtime, render_text
+from repro.core.faults import GPUMemoryAccessError
+
+
+def _spec(name, alloc, mode):
+    return KernelSpec(name, [BufferAccess(alloc, mode)])
+
+
+def unsync_d2h_read():
+    """GPU writes a result; the host reads it without any synchronize."""
+    hip = make_runtime(memory_gib=4, trace=True)
+    out = hip.array(1 << 20, np.float32, "hipMalloc", name="out")
+    hip.launchKernel(_spec("produce", out.allocation, "write"))
+    # BUG: no hipDeviceSynchronize() — the kernel may still be running.
+    hip.runCpuKernel(_spec("postprocess", out.allocation, "read"))
+    return analyze_runtime(hip)
+
+
+def cpu_gpu_race():
+    """Host and GPU write the same unified buffer concurrently."""
+    hip = make_runtime(memory_gib=4, xnack=True, trace=True)
+    data = hip.array(1 << 20, np.float32, "hipMalloc", name="shared")
+    hip.launchKernel(_spec("gpu_half", data.allocation, "write"))
+    # BUG: the CPU half starts while the GPU half is still in flight.
+    hip.runCpuKernel(_spec("cpu_half", data.allocation, "write"))
+    hip.hipDeviceSynchronize()
+    return analyze_runtime(hip)
+
+
+def memcpy_race():
+    """Host rewrites a pinned staging buffer mid-hipMemcpyAsync."""
+    hip = make_runtime(memory_gib=4, trace=True)
+    staging = hip.array(1 << 20, np.float32, "hipHostMalloc", name="staging")
+    device = hip.array(1 << 20, np.float32, "hipMalloc", name="device")
+    stream = hip.hipStreamCreate("copy")
+    hip.hipMemcpyAsync(device, staging, stream=stream)
+    # BUG: pinned source still being read by the SDMA engine.
+    hip.runCpuKernel(_spec("refill", staging.allocation, "write"))
+    hip.hipStreamSynchronize(stream)
+    return analyze_runtime(hip)
+
+
+def stream_race():
+    """Two streams write one buffer with no event between them."""
+    hip = make_runtime(memory_gib=4, trace=True)
+    data = hip.array(1 << 20, np.float32, "hipMalloc", name="data")
+    s1 = hip.hipStreamCreate("s1")
+    s2 = hip.hipStreamCreate("s2")
+    hip.launchKernel(_spec("phase1", data.allocation, "write"), s1)
+    # BUG: no hipStreamWaitEvent ordering s2 after s1.
+    hip.launchKernel(_spec("phase2", data.allocation, "write"), s2)
+    hip.hipDeviceSynchronize()
+    return analyze_runtime(hip)
+
+
+def use_after_free():
+    """hipFree under an in-flight kernel, then a launch on the dead buffer."""
+    hip = make_runtime(memory_gib=4, xnack=True, trace=True)
+    data = hip.array(1 << 20, np.float32, "hipMalloc", name="doomed")
+    alloc = data.allocation
+    hip.launchKernel(_spec("writer", alloc, "write"))
+    # BUG: freed while the writer kernel may still be running.
+    hip.hipFree(alloc)
+    replacement = hip.array(1 << 20, np.float32, "hipMalloc", name="reuse")
+    # BUG: stale handle — the kernel reads through the freed allocation.
+    hip.launchKernel(_spec("stale_reader", alloc, "read"))
+    hip.hipDeviceSynchronize()
+    del replacement
+    return analyze_runtime(hip)
+
+
+def double_free():
+    """The same allocation freed twice."""
+    hip = make_runtime(memory_gib=4, trace=True)
+    data = hip.hipMalloc(1 << 20, name="twice")
+    hip.hipDeviceSynchronize()
+    hip.hipFree(data)
+    try:
+        hip.hipFree(data)  # BUG: second free of the same handle.
+    except ValueError:
+        pass  # the simulated allocator refuses, like a debug heap would
+    return analyze_runtime(hip)
+
+
+def xnack_fatal():
+    """GPU touches pageable memory with XNACK disabled."""
+    hip = make_runtime(memory_gib=4, xnack=False, trace=True)
+    data = hip.array(1 << 20, np.float32, "malloc", name="pageable")
+    hip.apu.touch(data.allocation, "cpu")
+    try:
+        # BUG: pageable memory is GPU-visible only under HSA_XNACK=1.
+        hip.launchKernel(_spec("toucher", data.allocation, "read"))
+        hip.hipDeviceSynchronize()
+    except GPUMemoryAccessError:
+        pass  # on hardware: memory access fault, aborted queue
+    return analyze_runtime(hip)
+
+
+def fault_storm():
+    """First GPU touch of a large managed range: a page-fault flood."""
+    hip = make_runtime(memory_gib=4, xnack=True, trace=True)
+    data = hip.array(16 << 20, np.uint8, "hipMallocManaged", name="managed")
+    # Not a bug, but worth knowing: every page faults on first GPU touch
+    # (Fig. 7's ~420k faults/s ceiling), so warm up or prefetch.
+    hip.launchKernel(_spec("first_touch", data.allocation, "read"))
+    hip.hipDeviceSynchronize()
+    return analyze_runtime(hip)
+
+
+SCENARIOS = (
+    unsync_d2h_read,
+    cpu_gpu_race,
+    memcpy_race,
+    stream_race,
+    use_after_free,
+    double_free,
+    xnack_fatal,
+    fault_storm,
+)
+
+
+def main() -> None:
+    for scenario in SCENARIOS:
+        print(f"--- {scenario.__name__} ---")
+        print(render_text(scenario()))
+        print()
+
+
+if __name__ == "__main__":
+    main()

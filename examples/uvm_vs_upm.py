@@ -49,6 +49,7 @@ def main() -> None:
     except OutOfMemoryError:
         print(" * UPM raises OutOfMemory: one physical pool, no host to"
               " spill to")
+        apu.memory.free(buf)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,63 @@
+"""Correctness tooling for the simulated HIP runtime.
+
+Two cooperating passes over programs written against
+:mod:`repro.runtime`:
+
+* **hipsan**, a dynamic happens-before sanitizer
+  (:mod:`repro.analyze.sanitizer`): build the runtime with
+  ``make_runtime(..., trace=True)``, run the program, then call
+  :func:`analyze_runtime` (or ``python -m repro analyze``) to check the
+  event log for CPU↔GPU races on unified pages, unsynchronized D2H
+  reads, races with in-flight ``hipMemcpyAsync``, lifetime violations
+  through ``hipFree``, and XNACK-off fatal accesses.
+
+* a **static linter** (:mod:`repro.analyze.linter`):
+  ``python -m repro lint <paths>`` flags missing synchronization,
+  leaked allocations, free-before-sync, mixed explicit/managed usage
+  and deprecated/unknown API names without running anything.
+
+Both report :class:`~repro.analyze.findings.Finding` records rendered
+by the shared text/JSON reporters.
+"""
+
+from .events import EventLog, RuntimeEvent
+from .findings import (
+    Finding,
+    Severity,
+    has_errors,
+    max_severity,
+    render_json,
+    render_text,
+)
+from .hb import VectorClock, ordered_before
+from .linter import lint_file, lint_paths, lint_source
+from .sanitizer import (
+    GPU_FAULT_STORM_PAGES,
+    SMALL_PARAMS,
+    Sanitizer,
+    analyze_app,
+    analyze_log,
+    analyze_runtime,
+)
+
+__all__ = [
+    "EventLog",
+    "Finding",
+    "GPU_FAULT_STORM_PAGES",
+    "RuntimeEvent",
+    "SMALL_PARAMS",
+    "Sanitizer",
+    "Severity",
+    "VectorClock",
+    "analyze_app",
+    "analyze_log",
+    "analyze_runtime",
+    "has_errors",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "max_severity",
+    "ordered_before",
+    "render_json",
+    "render_text",
+]

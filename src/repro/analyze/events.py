@@ -1,0 +1,97 @@
+"""Structured runtime event log — the sanitizer's instrumentation layer.
+
+When an :class:`~repro.runtime.apu.APU` is built with ``trace=True`` it
+owns one :class:`EventLog`; the memory manager, the fault handler, the
+stream registry, the kernel engine, and the HIP copy/sync entry points
+all emit :class:`RuntimeEvent` records into it.  The log is an append-
+only list ordered by *host issue order* — exactly the order the program
+submitted work in — which is what the happens-before replay in
+:mod:`repro.analyze.sanitizer` consumes.
+
+Buffers and events are identified by small stable uids (``b0``,
+``b1``, ... / ``e0``, ...) assigned at first sight, so the log never
+holds references to live runtime objects and survives frees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class RuntimeEvent:
+    """One instrumented runtime action."""
+
+    seq: int
+    kind: str
+    t_ns: float
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def __repr__(self) -> str:
+        payload = ", ".join(f"{k}={v!r}" for k, v in self.data.items())
+        return f"RuntimeEvent({self.seq}, {self.kind}, t={self.t_ns:.0f}, {payload})"
+
+
+class EventLog:
+    """Append-only log of runtime events plus the uid registries."""
+
+    def __init__(self, clock) -> None:
+        self._clock = clock
+        self.events: List[RuntimeEvent] = []
+        self._buffer_uids: Dict[int, str] = {}  # id(Allocation) -> uid
+        self._vma_uids: Dict[int, str] = {}  # id(VMA) -> uid
+        self._event_uids: Dict[int, str] = {}  # id(Event) -> uid
+        self._next_buffer = 0
+        self._next_event = 0
+
+    # ------------------------------------------------------------------
+    # Emission
+    # ------------------------------------------------------------------
+
+    def emit(self, kind: str, **data: Any) -> RuntimeEvent:
+        """Append one event stamped with the current simulated time."""
+        event = RuntimeEvent(len(self.events), kind, self._clock.now_ns, data)
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Identity registries
+    # ------------------------------------------------------------------
+
+    def register_buffer(self, allocation, fresh: bool = False) -> str:
+        """The uid of *allocation*, assigning a new one when *fresh*.
+
+        ``fresh=True`` is used at allocation time so that a recycled
+        Python object id (or address) never aliases a previous buffer's
+        history.
+        """
+        key = id(allocation)
+        if fresh or key not in self._buffer_uids:
+            uid = f"b{self._next_buffer}"
+            self._next_buffer += 1
+            self._buffer_uids[key] = uid
+            self._vma_uids[id(allocation.vma)] = uid
+        return self._buffer_uids[key]
+
+    def buffer_uid(self, allocation) -> str:
+        """The uid of a previously seen allocation (lazily assigned)."""
+        return self.register_buffer(allocation, fresh=False)
+
+    def buffer_for_vma(self, vma) -> Optional[str]:
+        """Map a VMA back to its buffer uid (None for untracked VMAs)."""
+        return self._vma_uids.get(id(vma))
+
+    def event_uid(self, event) -> str:
+        """The uid of a HIP event object (lazily assigned)."""
+        key = id(event)
+        if key not in self._event_uids:
+            self._event_uids[key] = f"e{self._next_event}"
+            self._next_event += 1
+        return self._event_uids[key]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

@@ -1,0 +1,93 @@
+"""Shared finding model and reporters for the analysis passes.
+
+Both the dynamic sanitizer (:mod:`repro.analyze.sanitizer`) and the
+static linter (:mod:`repro.analyze.linter`) report through the same
+:class:`Finding` record, so the CLI, the CI gate, and the tests can
+treat their output uniformly: a rule id, a severity, a message, an
+optional source location, and an optional fix hint.
+"""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; the CI gate fails on ERROR only."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic from either analysis pass."""
+
+    rule: str
+    severity: Severity
+    message: str
+    file: Optional[str] = None
+    line: Optional[int] = None
+    hint: Optional[str] = None
+
+    @property
+    def location(self) -> str:
+        """``file:line`` when known, else an empty string."""
+        if self.file is None:
+            return ""
+        if self.line is None:
+            return self.file
+        return f"{self.file}:{self.line}"
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """Human-readable report, one finding per paragraph."""
+    lines: List[str] = []
+    count = 0
+    for f in sorted(findings, key=lambda f: (-int(f.severity), f.rule)):
+        count += 1
+        loc = f" [{f.location}]" if f.location else ""
+        lines.append(f"{f.severity}: {f.rule}{loc}: {f.message}")
+        if f.hint:
+            lines.append(f"    hint: {f.hint}")
+    lines.append(f"{count} finding(s)")
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Machine-readable report (a JSON array)."""
+    return json.dumps(
+        [
+            {
+                "rule": f.rule,
+                "severity": str(f.severity),
+                "message": f.message,
+                "file": f.file,
+                "line": f.line,
+                "hint": f.hint,
+            }
+            for f in findings
+        ],
+        indent=2,
+    )
+
+
+def has_errors(findings: Iterable[Finding]) -> bool:
+    """True when at least one finding is ERROR severity (the CI gate)."""
+    return any(f.severity >= Severity.ERROR for f in findings)
+
+
+def max_severity(findings: Iterable[Finding]) -> Optional[Severity]:
+    """The worst severity present, or None for an empty report."""
+    worst: Optional[Severity] = None
+    for f in findings:
+        if worst is None or f.severity > worst:
+            worst = f.severity
+    return worst

@@ -1,0 +1,81 @@
+"""Vector clocks — the happens-before algebra of the sanitizer.
+
+Timelines are the host thread (``"host"``) plus one per HIP stream
+(``"s0"``, ``"s1"``, ...).  Asynchronous copies ride their stream's
+timeline, so SDMA queues need no separate component: the simulator's
+streams *are* its copy queues.
+
+The ordering edges the replay establishes (see
+:mod:`repro.analyze.sanitizer`):
+
+* **submission** — any operation enqueued on a stream happens-after
+  everything the host did before submitting it;
+* **program order** — operations on one timeline are totally ordered;
+* **event record/wait** — ``hipEventRecord`` snapshots the recording
+  stream's clock; ``hipStreamWaitEvent`` / ``hipEventSynchronize`` join
+  that snapshot into the waiter;
+* **synchronisation** — ``hipStreamSynchronize`` joins the stream into
+  the host; ``hipDeviceSynchronize`` joins every stream.
+
+Two accesses race iff neither's clock is ≤ the other's — with the
+standard optimisation that an access A on timeline *t* happens-before a
+later access B iff ``A.clock[t] <= B.clock[t]``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class VectorClock:
+    """A sparse vector clock over timeline names."""
+
+    __slots__ = ("_counts",)
+
+    def __init__(self, counts: Dict[str, int] | None = None) -> None:
+        self._counts: Dict[str, int] = dict(counts) if counts else {}
+
+    def tick(self, timeline: str) -> None:
+        """Advance this clock's own component."""
+        self._counts[timeline] = self._counts.get(timeline, 0) + 1
+
+    def join(self, other: "VectorClock") -> None:
+        """Component-wise maximum (merge knowledge from *other*)."""
+        for timeline, count in other._counts.items():
+            if count > self._counts.get(timeline, 0):
+                self._counts[timeline] = count
+
+    def copy(self) -> "VectorClock":
+        """An independent snapshot."""
+        return VectorClock(self._counts)
+
+    def get(self, timeline: str) -> int:
+        """This clock's knowledge of *timeline* (0 when never seen)."""
+        return self._counts.get(timeline, 0)
+
+    def __le__(self, other: "VectorClock") -> bool:
+        """Componentwise ≤: self happens-before-or-equals other."""
+        return all(
+            count <= other._counts.get(timeline, 0)
+            for timeline, count in self._counts.items()
+        )
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{t}:{c}" for t, c in sorted(self._counts.items()))
+        return f"VC({inner})"
+
+
+def ordered_before(
+    clock: VectorClock, timeline: str, later: VectorClock
+) -> bool:
+    """Did an access stamped (*clock*, on *timeline*) happen-before an
+    access stamped *later*?
+
+    Uses the own-component shortcut: the earlier access's tick on its
+    own timeline must be visible to the later clock.  Every access ticks
+    its timeline before being stamped, so ``clock.get(timeline) >= 1``.
+    """
+    own = clock.get(timeline)
+    if own > 0:
+        return own <= later.get(timeline)
+    return clock <= later

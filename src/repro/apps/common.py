@@ -86,6 +86,10 @@ class RodiniaApp(abc.ABC):
     #: Variant labels this app supports.
     variants: Tuple[str, ...] = ("explicit", "unified")
 
+    #: Event log of the most recent traced run (``run(trace=True)``),
+    #: consumed by the hipsan regression sweep.
+    last_trace = None
+
     def default_params(self) -> Dict[str, int]:
         """Problem-size parameters (overridable per run)."""
         return {}
@@ -119,8 +123,13 @@ class RodiniaApp(abc.ABC):
         memory_gib: Optional[int] = 16,
         params: Optional[Dict[str, int]] = None,
         seed: int = 0x1300A,
+        trace: bool = False,
     ) -> AppResult:
-        """Run one variant on a fresh APU and collect the Fig. 11 metrics."""
+        """Run one variant on a fresh APU and collect the Fig. 11 metrics.
+
+        With ``trace=True`` the runtime records a hipsan event log,
+        available afterwards as :attr:`last_trace`.
+        """
         if variant not in self.variants:
             raise ValueError(
                 f"{self.name} supports variants {self.variants}, "
@@ -133,8 +142,10 @@ class RodiniaApp(abc.ABC):
                 raise ValueError(f"unknown params for {self.name}: {unknown}")
             merged.update(params)
         runtime = make_runtime(
-            memory_gib, xnack=self.needs_xnack(variant), seed=seed
+            memory_gib, xnack=self.needs_xnack(variant), seed=seed,
+            trace=trace,
         )
+        self.last_trace = runtime.apu.trace
         apu = runtime.apu
         profiler = MemoryUsageProfiler(apu)
         start = apu.clock.now_ns
@@ -144,6 +155,13 @@ class RodiniaApp(abc.ABC):
         profiler.sample()
         total_s = (apu.clock.now_ns - start) / 1e9
         compute_s = apu.clock.region_ns("compute") / 1e9
+        # Teardown: the apps borrow the runtime's memory arena and leave
+        # their buffers live; the harness releases everything here, after
+        # the measured window, the way process exit does for the real
+        # Rodinia binaries.  hipFree is expensive at these sizes (Fig. 6),
+        # so freeing inside the window would distort the Fig. 11 ratios.
+        for allocation in list(apu.memory.allocations):
+            apu.memory.free(allocation)
         return AppResult(
             app=self.name,
             variant=variant,

@@ -136,6 +136,13 @@ class Heartwall(RodiniaApp):
                 runtime.hipEventRecord(copied, copy_stream)
                 runtime.hipStreamWaitEvent(None, copied)
                 runtime.launchKernel(self._track_spec(d_frame.allocation, dim))
+                # The next iteration's copy must not overwrite d_frame
+                # while this kernel still reads it: the copy stream waits
+                # on an event recorded after the launch.  Pre-processing
+                # dominates the per-frame time, so the wait is free.
+                tracked = runtime.hipEventCreate("tracked")
+                runtime.hipEventRecord(tracked)
+                runtime.hipStreamWaitEvent(copy_stream, tracked)
                 points = _track(frame, points)
             runtime.hipDeviceSynchronize()
             profiler.sample()
@@ -175,12 +182,21 @@ class Heartwall(RodiniaApp):
         back = runtime.array((dim, dim), np.float32, "hipMalloc", name="back")
         buffers = DoubleBuffer(front, back)
         compute_stream = runtime.hipStreamCreate("compute")
+        # Per-buffer producer guards: the event recorded after the last
+        # kernel that read a buffer; the CPU waits on it before
+        # overwriting that buffer again (two iterations later).
+        guards: Dict[int, object] = {}
         profiler.sample()
 
         with apu.clock.region("compute"):
             for _ in range(frames):
                 frame = _preprocess_frame(rng, (dim, dim))
                 target = buffers.back
+                guard = guards.get(id(target.allocation))
+                if guard is not None:
+                    # In steady state the consumer finished long ago, so
+                    # this wait costs nothing — it only orders the reuse.
+                    runtime.hipEventSynchronize(guard)
                 target.np[:] = frame
                 runtime.runCpuKernel(self._prep_spec(target.allocation, dim))
                 event = event_synchronised_swap(runtime, buffers, compute_stream)
@@ -189,6 +205,9 @@ class Heartwall(RodiniaApp):
                     self._track_spec(buffers.front.allocation, dim),
                     compute_stream,
                 )
+                done = runtime.hipEventCreate("tracked")
+                runtime.hipEventRecord(done, compute_stream)
+                guards[id(buffers.front.allocation)] = done
                 points = _track(frame, points)
             runtime.hipStreamSynchronize(compute_stream)
             profiler.sample()

@@ -9,6 +9,8 @@ Usage::
     python -m repro uvm                  # the UPM-vs-UVM extension
     python -m repro partition            # SPX/TPX/CPX x NPS1/NPS4 sweep
     python -m repro export --out results # CSV export of the results
+    python -m repro lint examples        # static HIP API-misuse linter
+    python -m repro analyze --quick      # hipsan sweep over the apps
 
 Every command prints the same rows the corresponding `benchmarks/`
 module asserts against; the CLI exists for interactive exploration, the
@@ -344,6 +346,44 @@ def cmd_partition(args: argparse.Namespace) -> None:
     )
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Static HIP API-misuse linter over Python sources."""
+    from .analyze import has_errors, lint_paths, render_json, render_text
+
+    paths = args.paths or ["examples", "src/repro/apps"]
+    findings = lint_paths(paths, exclude=tuple(args.exclude or ()))
+    if args.json:
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if has_errors(findings) else 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """hipsan: happens-before sanitizer over the ported applications."""
+    from .analyze import SMALL_PARAMS, Severity, analyze_app, render_text
+    from .apps import ALL_APPS
+
+    names = [args.app] if args.app else sorted(ALL_APPS)
+    failed = False
+    for name in names:
+        if name not in ALL_APPS:
+            raise SystemExit(
+                f"unknown app {name!r}; choose from {sorted(ALL_APPS)}"
+            )
+        app = ALL_APPS[name]()
+        params = SMALL_PARAMS.get(name) if args.quick else None
+        for variant in app.variants:
+            findings = analyze_app(name, variant, params=params)
+            reported = [f for f in findings if f.severity > Severity.INFO]
+            status = "clean" if not reported else f"{len(reported)} finding(s)"
+            print(f"{name:10s} {variant:16s} {status}")
+            if reported:
+                failed = True
+                print(render_text(reported))
+    return 1 if failed else 0
+
+
 COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "table1": cmd_table1,
     "fig2": cmd_fig2,
@@ -361,6 +401,8 @@ COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
     "uvm": cmd_uvm,
     "partition": cmd_partition,
     "export": cmd_export,
+    "lint": cmd_lint,
+    "analyze": cmd_analyze,
 }
 
 
@@ -387,6 +429,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="(export only) output directory for CSV files",
     )
+    parser.add_argument(
+        "paths", nargs="*",
+        help="(lint only) files or directories to lint",
+    )
+    parser.add_argument(
+        "--exclude", action="append", default=None,
+        help="(lint only) path suffix to skip; repeatable",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="(lint only) emit findings as JSON",
+    )
     return parser
 
 
@@ -404,7 +458,8 @@ def list_experiments() -> List[str]:
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
-    args = parser.parse_args(argv)
+    # intermixed: "lint --json examples" has flags between positionals
+    args = parser.parse_intermixed_args(argv)
     if args.experiment == "list":
         print("Available experiments:")
         for row in list_experiments():
@@ -415,8 +470,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"unknown experiment {args.experiment!r}; try 'list'",
               file=sys.stderr)
         return 2
-    command(args)
-    return 0
+    return command(args) or 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -115,6 +115,7 @@ class MemoryManager:
         self._faults = faults
         self._clock = clock
         self.allocations: List[Allocation] = []
+        self.trace = None  # EventLog when the owning APU traces
 
     @property
     def xnack_enabled(self) -> bool:
@@ -255,6 +256,10 @@ class MemoryManager:
         allocation.kind = AllocatorKind.MALLOC_REGISTERED
         allocation.pinned = True
         allocation.on_demand = False
+        if self.trace is not None:
+            self.trace.emit(
+                "pin", buffer=self.trace.buffer_uid(allocation)
+            )
         return allocation
 
     def managed_static(self, size: int, name: str = "__managed__") -> Allocation:
@@ -297,6 +302,12 @@ class MemoryManager:
 
     def free(self, allocation: Allocation) -> float:
         """Release *allocation*; returns the simulated call cost in ns."""
+        if self.trace is not None:
+            # Emitted before the liveness check so the sanitizer's log
+            # captures double frees the strict runtime rejects.
+            self.trace.emit(
+                "free", buffer=self.trace.buffer_uid(allocation)
+            )
         if allocation not in self.allocations:
             raise ValueError(f"double free or foreign allocation: {allocation}")
         cost = free_cost_ns(self._config, allocation)
@@ -354,6 +365,16 @@ class MemoryManager:
 
     def _register(self, allocation: Allocation) -> Allocation:
         self.allocations.append(allocation)
+        if self.trace is not None:
+            self.trace.emit(
+                "alloc",
+                buffer=self.trace.register_buffer(allocation, fresh=True),
+                name=allocation.vma.name,
+                allocator=allocation.kind.value,
+                size=allocation.size_bytes,
+                pinned=allocation.pinned,
+                on_demand=allocation.on_demand,
+            )
         return allocation
 
     def live_bytes(self, kind: Optional[AllocatorKind] = None) -> int:

@@ -107,6 +107,7 @@ class FaultHandler:
         self.xnack_enabled = xnack_enabled
         self.counters = FaultCounters()
         self._rng = np.random.default_rng(seed)
+        self.trace = None  # EventLog when the owning APU traces
 
     # ------------------------------------------------------------------
     # Entry point
@@ -136,6 +137,16 @@ class FaultHandler:
         else:
             self._touch_cpu(vma, first_page, count, report)
         report.service_time_ns = self._service_time_ns(report, concurrency)
+        if self.trace is not None and report.any_faults:
+            self.trace.emit(
+                "fault",
+                device=device,
+                buffer=self.trace.buffer_for_vma(vma),
+                name=vma.name,
+                cpu_pages=report.cpu_faulted_pages,
+                gpu_major=report.gpu_major_pages,
+                gpu_minor=report.gpu_minor_pages,
+            )
         return report
 
     # ------------------------------------------------------------------
@@ -227,14 +238,27 @@ class FaultHandler:
     def _check_gpu_access(self, vma: VMA) -> None:
         mode = vma.gpu_access
         if mode == GPU_ACCESS_NEVER:
+            self._emit_fatal(vma, "static host symbols are invisible to the GPU")
             raise GPUMemoryAccessError(
                 f"GPU cannot access {vma.name or 'static host memory'}: "
                 "static host symbols are invisible to the GPU linker"
             )
         if mode == GPU_ACCESS_XNACK and not self.xnack_enabled:
+            self._emit_fatal(
+                vma, "pageable memory needs XNACK for GPU fault replay"
+            )
             raise GPUMemoryAccessError(
                 f"GPU access to {vma.name or 'pageable memory'} requires "
                 "XNACK (HSA_XNACK=1): the GPU cannot resolve page faults"
+            )
+
+    def _emit_fatal(self, vma: VMA, reason: str) -> None:
+        if self.trace is not None:
+            self.trace.emit(
+                "fatal_gpu_access",
+                name=vma.name,
+                buffer=self.trace.buffer_for_vma(vma),
+                reason=reason,
             )
 
     def _touch_gpu(
@@ -246,6 +270,9 @@ class FaultHandler:
             vma.gpu_touched = True
             return
         if not self.xnack_enabled:
+            self._emit_fatal(
+                vma, "unmapped page touched with XNACK disabled"
+            )
             raise GPUMemoryAccessError(
                 f"GPU page fault on {vma.name or 'memory'} with XNACK "
                 "disabled: on-demand mapped pages are inaccessible"

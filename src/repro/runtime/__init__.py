@@ -24,8 +24,8 @@ from .kernels import (
     KernelResult,
     KernelSpec,
 )
-from .sdma import memcpy_bandwidth_bytes_per_s, memcpy_time_ns
-from .stream import Event, Stream, StreamRegistry
+from .sdma import copy_path, memcpy_bandwidth_bytes_per_s, memcpy_time_ns
+from .stream import Event, Stream, StreamRegistry, UnrecordedEventError
 
 __all__ = [
     "APU",
@@ -43,6 +43,8 @@ __all__ = [
     "KernelSpec",
     "Stream",
     "StreamRegistry",
+    "UnrecordedEventError",
+    "copy_path",
     "hipMemcpyDefault",
     "hipMemcpyDeviceToDevice",
     "hipMemcpyDeviceToHost",

@@ -43,6 +43,9 @@ class APU:
         partition: compute/memory partition mode pair; defaults to
             SPX/NPS1 (the paper's testbed), which leaves every model
             identical to the unpartitioned APU.
+        trace: record a structured :class:`~repro.analyze.events.EventLog`
+            of every allocation, copy, kernel, fault and synchronisation
+            for the hipsan pass (:mod:`repro.analyze.sanitizer`).
     """
 
     def __init__(
@@ -51,12 +54,19 @@ class APU:
         xnack: bool = False,
         seed: int = 0x1300A,
         partition: Optional[PartitionConfig] = None,
+        trace: bool = False,
     ) -> None:
         from ..core.physical import PhysicalMemory  # local to keep import light
 
         self.config = config if config is not None else default_config()
         self.partition = partition if partition is not None else PartitionConfig()
         self.clock = SimClock()
+        if trace:
+            from ..analyze.events import EventLog  # local: analyze is optional
+
+            self.trace: Optional["EventLog"] = EventLog(self.clock)
+        else:
+            self.trace = None
         self.physical = PhysicalMemory(self.config, seed=seed)
         self.address_space = AddressSpace()
         self.system_pt = SystemPageTable()
@@ -65,6 +75,7 @@ class APU:
         self.faults = FaultHandler(
             self.config, self.physical, self.hmm, xnack_enabled=xnack, seed=seed
         )
+        self.faults.trace = self.trace
         self.memory = MemoryManager(
             self.config,
             self.physical,
@@ -73,6 +84,7 @@ class APU:
             self.faults,
             self.clock,
         )
+        self.memory.trace = self.trace
         self.hbm_map = HBMSubsystem(
             self.config.hbm, numa_domains=self.partition.numa_domains
         )
@@ -84,7 +96,7 @@ class APU:
         self.logical_devices = self.placement.devices
         self.gpu = GPUDevice(self.config)
         self.cpu = CPUComplex(self.config)
-        self.streams = StreamRegistry(self.clock)
+        self.streams = StreamRegistry(self.clock, trace=self.trace)
 
     @property
     def xnack(self) -> bool:
@@ -175,6 +187,7 @@ def make_apu(
     xnack: bool = False,
     seed: int = 0x1300A,
     partition: Optional[PartitionConfig] = None,
+    trace: bool = False,
 ) -> APU:
     """Convenience constructor.
 
@@ -182,7 +195,7 @@ def make_apu(
     a down-scaled pool for fast tests (policies unchanged).
     """
     if memory_gib is None:
-        return APU(xnack=xnack, seed=seed, partition=partition)
+        return APU(xnack=xnack, seed=seed, partition=partition, trace=trace)
     from ..hw.config import small_config
 
     return APU(
@@ -190,4 +203,5 @@ def make_apu(
         xnack=xnack,
         seed=seed,
         partition=partition,
+        trace=trace,
     )

@@ -18,8 +18,8 @@ from ..partition import LogicalDevice, PartitionConfig
 from .apu import APU
 from .arrays import DeviceArray, Shape
 from .kernels import KernelEngine, KernelResult, KernelSpec
-from .sdma import memcpy_time_ns
-from .stream import Event, Stream
+from .sdma import copy_path, memcpy_time_ns
+from .stream import Event, Stream, UnrecordedEventError
 
 #: hipMemcpy kind constants (accepted and ignored: UPM has one memory).
 hipMemcpyHostToDevice = "H2D"
@@ -231,6 +231,10 @@ class HipRuntime:
         duration = memcpy_time_ns(
             self.apu.config, dst_alloc, src_alloc, nbytes, self.sdma_enabled
         )
+        self._emit_memcpy(
+            dst_alloc, src_alloc, nbytes, dst_offset, src_offset,
+            is_async=False, stream=None,
+        )
         self.apu.clock.advance(duration)
         self._move_payload(dst, src, nbytes, dst_offset, src_offset)
 
@@ -251,8 +255,38 @@ class HipRuntime:
         duration = memcpy_time_ns(
             self.apu.config, dst_alloc, src_alloc, nbytes, self.sdma_enabled
         )
-        self.apu.streams.resolve(stream).enqueue(duration)
+        resolved = self.apu.streams.resolve(stream)
+        resolved.enqueue(duration)
+        self._emit_memcpy(
+            dst_alloc, src_alloc, nbytes, dst_offset, src_offset,
+            is_async=True, stream=resolved,
+        )
         self._move_payload(dst, src, nbytes, dst_offset, src_offset)
+
+    def _emit_memcpy(
+        self,
+        dst: Allocation,
+        src: Allocation,
+        nbytes: int,
+        dst_offset: int,
+        src_offset: int,
+        is_async: bool,
+        stream: Optional[Stream],
+    ) -> None:
+        trace = self.apu.trace
+        if trace is None:
+            return
+        trace.emit(
+            "memcpy",
+            dst=trace.buffer_uid(dst),
+            src=trace.buffer_uid(src),
+            nbytes=nbytes,
+            dst_offset=dst_offset,
+            src_offset=src_offset,
+            path=copy_path(dst, src, self.sdma_enabled),
+            is_async=is_async,
+            stream=stream.uid if stream is not None else None,
+        )
 
     def _resolve_copy_faults(
         self,
@@ -325,6 +359,24 @@ class HipRuntime:
         """Make a stream wait for an event."""
         self.apu.streams.resolve(stream).wait_event(event)
 
+    def hipEventSynchronize(self, event: Event) -> None:
+        """Block the host until the event's point on its stream passes.
+
+        Raises :class:`~repro.runtime.stream.UnrecordedEventError` for an
+        event that was never recorded (real HIP would spin forever or
+        return ``hipErrorInvalidResourceHandle``).
+        """
+        if event.timestamp_ns is None:
+            raise UnrecordedEventError(
+                f"hipEventSynchronize on unrecorded event {event.name!r}: "
+                "record the event before blocking on it"
+            )
+        self.apu.clock.advance_to(event.timestamp_ns)
+        if self.apu.trace is not None:
+            self.apu.trace.emit(
+                "event_host_sync", event=self.apu.trace.event_uid(event)
+            )
+
     def hipStreamSynchronize(self, stream: Optional[Stream] = None) -> None:
         """Block the host until a stream drains."""
         self.apu.streams.resolve(stream).synchronize()
@@ -340,11 +392,19 @@ def make_runtime(
     sdma_enabled: bool = True,
     seed: int = 0x1300A,
     partition: Optional[PartitionConfig] = None,
+    trace: bool = False,
 ) -> HipRuntime:
-    """Build an APU and its HIP runtime in one call."""
+    """Build an APU and its HIP runtime in one call.
+
+    With ``trace=True`` the APU records an event log for the hipsan
+    sanitizer (:func:`repro.analyze.analyze_runtime`).
+    """
     from .apu import make_apu
 
     return HipRuntime(
-        make_apu(memory_gib, xnack=xnack, seed=seed, partition=partition),
+        make_apu(
+            memory_gib, xnack=xnack, seed=seed, partition=partition,
+            trace=trace,
+        ),
         sdma_enabled,
     )

@@ -157,8 +157,33 @@ class KernelEngine:
 
         duration = fault_ns + max(memory_ns, spec.compute_ns)
         start, end = stream.enqueue(duration)
+        self._emit_kernel(spec, "gpu", stream.uid, start, end)
         return KernelResult(
             spec.name, start, end, fault_ns, memory_ns, spec.compute_ns, misses
+        )
+
+    def _emit_kernel(
+        self, spec: KernelSpec, device: str, stream_uid, start: float, end: float
+    ) -> None:
+        trace = self._apu.trace
+        if trace is None:
+            return
+        trace.emit(
+            "kernel",
+            name=spec.name,
+            device=device,
+            stream=stream_uid,
+            start_ns=start,
+            end_ns=end,
+            accesses=[
+                {
+                    "buffer": trace.buffer_uid(access.allocation),
+                    "mode": access.mode,
+                    "offset": access.offset_bytes,
+                    "size": access.resolved_size,
+                }
+                for access in spec.accesses
+            ],
         )
 
     def _gpu_tlb_misses(self, access: BufferAccess) -> int:
@@ -229,6 +254,7 @@ class KernelEngine:
 
         duration = fault_ns + max(memory_ns, spec.compute_ns)
         apu.clock.advance(duration)
+        self._emit_kernel(spec, "cpu", None, start, start + duration)
         return KernelResult(
             spec.name, start, start + duration, fault_ns, memory_ns,
             spec.compute_ns, 0,

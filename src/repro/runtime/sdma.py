@@ -24,6 +24,21 @@ from ..hw.config import MI300AConfig
 _DEVICE_KINDS = (AllocatorKind.HIP_MALLOC, AllocatorKind.STATIC_DEVICE)
 
 
+def copy_path(
+    dst: Allocation, src: Allocation, sdma_enabled: bool = True
+) -> str:
+    """Which engine a hipMemcpy between two buffers runs on.
+
+    ``"d2d"`` for device-to-device shader copies, ``"sdma"`` for the
+    default SDMA engines, ``"blit"`` for the ``HSA_ENABLE_SDMA=0``
+    shader-kernel fallback.  The sanitizer's memcpy events carry this
+    tag so reports can name the engine involved in a race.
+    """
+    if src.kind in _DEVICE_KINDS and dst.kind in _DEVICE_KINDS:
+        return "d2d"
+    return "sdma" if sdma_enabled else "blit"
+
+
 def memcpy_bandwidth_bytes_per_s(
     config: MI300AConfig,
     dst: Allocation,
@@ -32,9 +47,10 @@ def memcpy_bandwidth_bytes_per_s(
 ) -> float:
     """Achievable hipMemcpy bandwidth between two buffers."""
     model = config.bandwidth
-    if src.kind in _DEVICE_KINDS and dst.kind in _DEVICE_KINDS:
+    path = copy_path(dst, src, sdma_enabled)
+    if path == "d2d":
         return model.memcpy_d2d_bytes_per_s
-    if sdma_enabled:
+    if path == "sdma":
         return model.memcpy_sdma_bytes_per_s
     return model.memcpy_no_sdma_bytes_per_s
 

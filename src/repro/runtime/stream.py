@@ -11,6 +11,11 @@ The timeline model: each stream tracks ``available_at_ns``; an enqueued
 operation starts at ``max(host_now, available_at)`` and pushes the
 stream's horizon forward.  Host-side synchronisation advances the
 simulated clock to the relevant horizon.
+
+When the owning APU traces (``trace=True``), every ordering-relevant
+action here — event record, event wait, stream/device synchronize —
+emits into the :class:`~repro.analyze.events.EventLog` so the hipsan
+pass can rebuild the happens-before graph.
 """
 
 from __future__ import annotations
@@ -18,6 +23,15 @@ from __future__ import annotations
 from typing import List, Optional
 
 from ..hw.clock import SimClock
+
+
+class UnrecordedEventError(RuntimeError):
+    """An event that was never recorded was waited on or timed.
+
+    Real HIP returns ``hipErrorInvalidResourceHandle`` /
+    ``hipErrorNotReady`` here; silently treating the event as
+    timestamp 0 would let later work appear ordered against nothing.
+    """
 
 
 class Event:
@@ -35,17 +49,23 @@ class Event:
     def elapsed_since(self, earlier: "Event") -> float:
         """hipEventElapsedTime analogue, in nanoseconds."""
         if self.timestamp_ns is None or earlier.timestamp_ns is None:
-            raise RuntimeError("both events must be recorded")
+            unrecorded = self.name if self.timestamp_ns is None else earlier.name
+            raise UnrecordedEventError(
+                f"hipEventElapsedTime on unrecorded event {unrecorded!r}: "
+                "record both events before timing them"
+            )
         return self.timestamp_ns - earlier.timestamp_ns
 
 
 class Stream:
     """One in-order HIP stream."""
 
-    def __init__(self, clock: SimClock, name: str = "") -> None:
+    def __init__(self, clock: SimClock, name: str = "", uid: str = "s0") -> None:
         self._clock = clock
         self.name = name
+        self.uid = uid
         self.available_at_ns: float = clock.now_ns
+        self.trace = None  # set by the registry when the APU traces
 
     def enqueue(self, duration_ns: float) -> tuple[float, float]:
         """Schedule an operation of *duration_ns* on this stream.
@@ -63,16 +83,33 @@ class Stream:
     def record_event(self, event: Event) -> None:
         """hipEventRecord: the event completes when prior work completes."""
         event.timestamp_ns = max(self.available_at_ns, self._clock.now_ns)
+        if self.trace is not None:
+            self.trace.emit(
+                "event_record",
+                event=self.trace.event_uid(event),
+                stream=self.uid,
+            )
 
     def wait_event(self, event: Event) -> None:
         """hipStreamWaitEvent: later work waits for the event."""
         if event.timestamp_ns is None:
-            raise RuntimeError(f"waiting on unrecorded event {event.name!r}")
+            raise UnrecordedEventError(
+                f"hipStreamWaitEvent on unrecorded event {event.name!r}: "
+                "record the event before making a stream wait on it"
+            )
         self.available_at_ns = max(self.available_at_ns, event.timestamp_ns)
+        if self.trace is not None:
+            self.trace.emit(
+                "event_wait",
+                event=self.trace.event_uid(event),
+                stream=self.uid,
+            )
 
     def synchronize(self) -> None:
         """hipStreamSynchronize: host blocks until the stream drains."""
         self._clock.advance_to(self.available_at_ns)
+        if self.trace is not None:
+            self.trace.emit("stream_sync", stream=self.uid)
 
     @property
     def idle(self) -> bool:
@@ -83,14 +120,20 @@ class Stream:
 class StreamRegistry:
     """All streams of one runtime, including the default stream 0."""
 
-    def __init__(self, clock: SimClock) -> None:
+    def __init__(self, clock: SimClock, trace=None) -> None:
         self._clock = clock
-        self.default = Stream(clock, name="stream0")
+        self.trace = trace
+        self.default = Stream(clock, name="stream0", uid="s0")
+        self.default.trace = trace
         self._streams: List[Stream] = [self.default]
 
     def create(self, name: str = "") -> Stream:
         """hipStreamCreate."""
-        stream = Stream(self._clock, name or f"stream{len(self._streams)}")
+        uid = f"s{len(self._streams)}"
+        stream = Stream(
+            self._clock, name or f"stream{len(self._streams)}", uid=uid
+        )
+        stream.trace = self.trace
         self._streams.append(stream)
         return stream
 
@@ -102,6 +145,8 @@ class StreamRegistry:
         """hipDeviceSynchronize: host blocks until every stream drains."""
         horizon = max(s.available_at_ns for s in self._streams)
         self._clock.advance_to(horizon)
+        if self.trace is not None:
+            self.trace.emit("device_sync")
 
     def __iter__(self):
         return iter(self._streams)

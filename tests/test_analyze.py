@@ -1,0 +1,367 @@
+"""Tests for the hipsan happens-before sanitizer (repro.analyze).
+
+Three layers:
+
+* vector-clock / ordering unit tests (the HB core),
+* scenario tests driving small traced runtimes through each rule,
+* the regression gates: every seeded bug in examples/racey_port.py is
+  detected, and all six Rodinia ports analyze clean in both memory
+  models.
+"""
+
+import importlib.util
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.analyze import (
+    SMALL_PARAMS,
+    Severity,
+    VectorClock,
+    analyze_app,
+    analyze_runtime,
+    has_errors,
+    ordered_before,
+    render_json,
+    render_text,
+)
+from repro.analyze.findings import Finding
+from repro.apps import ALL_APPS
+from repro.runtime.hip import make_runtime
+from repro.runtime.kernels import BufferAccess, KernelSpec
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def _spec(name, alloc, mode):
+    return KernelSpec(name, [BufferAccess(alloc, mode)])
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+# ----------------------------------------------------------------------
+# Vector clocks
+# ----------------------------------------------------------------------
+
+
+class TestVectorClock:
+    def test_fresh_clocks_compare_equal(self):
+        assert VectorClock() <= VectorClock()
+
+    def test_tick_breaks_symmetry(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick("host")
+        assert b <= a
+        assert not a <= b
+
+    def test_join_takes_componentwise_max(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick("host")
+        b.tick("s0")
+        b.tick("s0")
+        a.join(b)
+        assert a.get("host") == 1
+        assert a.get("s0") == 2
+
+    def test_copy_is_independent(self):
+        a = VectorClock()
+        a.tick("host")
+        b = a.copy()
+        b.tick("host")
+        assert a.get("host") == 1
+        assert b.get("host") == 2
+
+    def test_concurrent_clocks_incomparable(self):
+        a, b = VectorClock(), VectorClock()
+        a.tick("host")
+        b.tick("s0")
+        assert not a <= b
+        assert not b <= a
+
+    def test_ordered_before_own_component(self):
+        first = VectorClock()
+        first.tick("s0")
+        later = VectorClock()
+        later.tick("s0")
+        later.tick("s0")
+        assert ordered_before(first.copy(), "s0", later)
+        assert not ordered_before(later, "s0", first)
+
+    def test_ordered_before_via_join(self):
+        producer = VectorClock()
+        producer.tick("s0")
+        consumer = VectorClock()
+        consumer.join(producer)
+        consumer.tick("s1")
+        assert ordered_before(producer, "s0", consumer)
+
+
+# ----------------------------------------------------------------------
+# Findings model
+# ----------------------------------------------------------------------
+
+
+class TestFindings:
+    def test_severity_ordering_and_str(self):
+        assert Severity.ERROR > Severity.WARNING > Severity.INFO
+        assert str(Severity.ERROR) == "error"
+
+    def test_render_text_sorted_and_counted(self):
+        findings = [
+            Finding("a.info", Severity.INFO, "quiet"),
+            Finding("b.err", Severity.ERROR, "loud", hint="fix it"),
+        ]
+        text = render_text(findings)
+        assert text.index("b.err") < text.index("a.info")
+        assert "fix it" in text
+        assert "2 finding(s)" in text
+
+    def test_render_json_roundtrips(self):
+        import json
+
+        findings = [Finding("r", Severity.WARNING, "msg", file="f.py", line=3)]
+        data = json.loads(render_json(findings))
+        assert data[0]["rule"] == "r"
+        assert data[0]["severity"] == "warning"
+        assert data[0]["line"] == 3
+
+    def test_has_errors(self):
+        assert not has_errors([Finding("r", Severity.WARNING, "m")])
+        assert has_errors([Finding("r", Severity.ERROR, "m")])
+
+
+# ----------------------------------------------------------------------
+# Sanitizer scenarios
+# ----------------------------------------------------------------------
+
+
+class TestSanitizerScenarios:
+    def test_clean_synchronous_pipeline(self):
+        hip = make_runtime(memory_gib=2, trace=True)
+        buf = hip.array(1 << 20, np.float32, "hipMalloc")
+        hip.launchKernel(_spec("produce", buf.allocation, "write"))
+        hip.hipDeviceSynchronize()
+        hip.runCpuKernel(_spec("consume", buf.allocation, "read"))
+        assert analyze_runtime(hip) == []
+
+    def test_unsynchronized_d2h_read(self):
+        hip = make_runtime(memory_gib=2, trace=True)
+        buf = hip.array(1 << 20, np.float32, "hipMalloc")
+        hip.launchKernel(_spec("produce", buf.allocation, "write"))
+        hip.runCpuKernel(_spec("consume", buf.allocation, "read"))
+        findings = analyze_runtime(hip)
+        assert _rules(findings) == {"hipsan.unsync-d2h-read"}
+        assert findings[0].severity == Severity.ERROR
+
+    def test_event_edge_suppresses_stream_race(self):
+        hip = make_runtime(memory_gib=2, trace=True)
+        buf = hip.array(1 << 20, np.float32, "hipMalloc")
+        s1, s2 = hip.hipStreamCreate("a"), hip.hipStreamCreate("b")
+        hip.launchKernel(_spec("first", buf.allocation, "write"), s1)
+        event = hip.hipEventCreate("edge")
+        hip.hipEventRecord(event, s1)
+        hip.hipStreamWaitEvent(s2, event)
+        hip.launchKernel(_spec("second", buf.allocation, "write"), s2)
+        hip.hipDeviceSynchronize()
+        assert analyze_runtime(hip) == []
+
+    def test_missing_event_is_stream_race(self):
+        hip = make_runtime(memory_gib=2, trace=True)
+        buf = hip.array(1 << 20, np.float32, "hipMalloc")
+        s1, s2 = hip.hipStreamCreate("a"), hip.hipStreamCreate("b")
+        hip.launchKernel(_spec("first", buf.allocation, "write"), s1)
+        hip.launchKernel(_spec("second", buf.allocation, "write"), s2)
+        hip.hipDeviceSynchronize()
+        assert _rules(analyze_runtime(hip)) == {"hipsan.stream-race"}
+
+    def test_disjoint_ranges_do_not_race(self):
+        hip = make_runtime(memory_gib=2, trace=True)
+        buf = hip.array(1 << 20, np.float32, "hipMalloc")
+        half = (1 << 20) * 2  # bytes of the first half
+        hip.launchKernel(KernelSpec("low", [BufferAccess(
+            buf.allocation, "write", size_bytes=half)]))
+        hip.runCpuKernel(KernelSpec("high", [BufferAccess(
+            buf.allocation, "write", offset_bytes=half, size_bytes=half)]))
+        hip.hipDeviceSynchronize()
+        assert analyze_runtime(hip) == []
+
+    def test_read_read_is_not_a_race(self):
+        hip = make_runtime(memory_gib=2, trace=True)
+        buf = hip.array(1 << 20, np.float32, "hipMalloc")
+        hip.apu.touch(buf.allocation, "cpu")
+        hip.launchKernel(_spec("gpu_reader", buf.allocation, "read"))
+        hip.runCpuKernel(_spec("cpu_reader", buf.allocation, "read"))
+        hip.hipDeviceSynchronize()
+        assert analyze_runtime(hip) == []
+
+    def test_pinned_async_copy_race_and_fix(self):
+        for fix in (False, True):
+            hip = make_runtime(memory_gib=2, trace=True)
+            src = hip.array(1 << 20, np.float32, "hipHostMalloc")
+            dst = hip.array(1 << 20, np.float32, "hipMalloc")
+            stream = hip.hipStreamCreate("copy")
+            hip.hipMemcpyAsync(dst, src, stream=stream)
+            if fix:
+                hip.hipStreamSynchronize(stream)
+            hip.runCpuKernel(_spec("refill", src.allocation, "write"))
+            findings = analyze_runtime(hip)
+            if fix:
+                assert findings == []
+            else:
+                assert _rules(findings) == {"hipsan.memcpy-race"}
+
+    def test_pageable_async_copy_is_host_synchronous(self):
+        # hipMemcpyAsync from pageable memory stages synchronously on
+        # the host side, so rewriting the source afterwards is safe.
+        hip = make_runtime(memory_gib=2, trace=True)
+        src = hip.array(1 << 20, np.float32, "malloc")
+        dst = hip.array(1 << 20, np.float32, "hipMalloc")
+        hip.apu.touch(src.allocation, "cpu")
+        stream = hip.hipStreamCreate("copy")
+        hip.hipMemcpyAsync(dst, src, stream=stream)
+        hip.runCpuKernel(_spec("refill", src.allocation, "write"))
+        hip.hipStreamSynchronize(stream)
+        assert analyze_runtime(hip) == []
+
+    def test_free_in_flight_and_use_after_free(self):
+        hip = make_runtime(memory_gib=2, xnack=True, trace=True)
+        buf = hip.array(1 << 20, np.float32, "hipMalloc")
+        alloc = buf.allocation
+        hip.launchKernel(_spec("writer", alloc, "write"))
+        hip.hipFree(alloc)
+        hip.launchKernel(_spec("stale", alloc, "read"))
+        hip.hipDeviceSynchronize()
+        rules = _rules(analyze_runtime(hip))
+        assert "hipsan.free-in-flight" in rules
+        assert "hipsan.use-after-free" in rules
+
+    def test_synchronized_free_is_clean(self):
+        hip = make_runtime(memory_gib=2, trace=True)
+        buf = hip.array(1 << 20, np.float32, "hipMalloc")
+        hip.launchKernel(_spec("writer", buf.allocation, "write"))
+        hip.hipDeviceSynchronize()
+        hip.hipFree(buf.allocation)
+        assert analyze_runtime(hip) == []
+
+    def test_double_free_detected(self):
+        hip = make_runtime(memory_gib=2, trace=True)
+        alloc = hip.hipMalloc(1 << 20)
+        hip.hipFree(alloc)
+        with pytest.raises(ValueError):
+            hip.hipFree(alloc)
+        assert _rules(analyze_runtime(hip)) == {"hipsan.double-free"}
+
+    def test_xnack_fatal_access_reported(self):
+        from repro.core.faults import GPUMemoryAccessError
+
+        hip = make_runtime(memory_gib=2, xnack=False, trace=True)
+        buf = hip.array(1 << 20, np.float32, "malloc")
+        hip.apu.touch(buf.allocation, "cpu")
+        with pytest.raises(GPUMemoryAccessError):
+            hip.launchKernel(_spec("toucher", buf.allocation, "read"))
+            hip.hipDeviceSynchronize()
+        assert _rules(analyze_runtime(hip)) == {"hipsan.xnack-fatal"}
+
+    def test_fault_storm_is_info_only(self):
+        hip = make_runtime(memory_gib=2, xnack=True, trace=True)
+        buf = hip.array(8 << 20, np.uint8, "hipMallocManaged")
+        hip.launchKernel(_spec("first_touch", buf.allocation, "read"))
+        hip.hipDeviceSynchronize()
+        findings = analyze_runtime(hip)
+        assert _rules(findings) == {"hipsan.fault-storm"}
+        assert all(f.severity == Severity.INFO for f in findings)
+
+    def test_findings_deduplicated_across_iterations(self):
+        hip = make_runtime(memory_gib=2, trace=True)
+        buf = hip.array(1 << 20, np.float32, "hipMalloc")
+        for _ in range(5):
+            hip.launchKernel(_spec("produce", buf.allocation, "write"))
+            hip.runCpuKernel(_spec("consume", buf.allocation, "read"))
+        assert len(analyze_runtime(hip)) == 1
+
+    def test_untraced_runtime_rejected(self):
+        hip = make_runtime(memory_gib=2)
+        with pytest.raises(ValueError, match="trace"):
+            analyze_runtime(hip)
+
+
+# ----------------------------------------------------------------------
+# Regression gates
+# ----------------------------------------------------------------------
+
+
+def _load_racey_port():
+    path = ROOT / "examples" / "racey_port.py"
+    spec = importlib.util.spec_from_file_location("racey_port", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestRaceyPortExample:
+    """The acceptance gate: each seeded bug in the example is caught."""
+
+    @pytest.fixture(scope="class")
+    def racey(self):
+        return _load_racey_port()
+
+    def test_detects_unsynchronized_d2h_read(self, racey):
+        assert "hipsan.unsync-d2h-read" in _rules(racey.unsync_d2h_read())
+
+    def test_detects_cpu_gpu_race(self, racey):
+        assert "hipsan.cpu-gpu-race" in _rules(racey.cpu_gpu_race())
+
+    def test_detects_use_after_free(self, racey):
+        rules = _rules(racey.use_after_free())
+        assert "hipsan.use-after-free" in rules
+        assert "hipsan.free-in-flight" in rules
+
+    def test_detects_every_remaining_rule(self, racey):
+        assert "hipsan.memcpy-race" in _rules(racey.memcpy_race())
+        assert "hipsan.stream-race" in _rules(racey.stream_race())
+        assert "hipsan.double-free" in _rules(racey.double_free())
+        assert "hipsan.xnack-fatal" in _rules(racey.xnack_fatal())
+        assert "hipsan.fault-storm" in _rules(racey.fault_storm())
+
+    def test_every_scenario_reports_something(self, racey):
+        for scenario in racey.SCENARIOS:
+            assert scenario(), scenario.__name__
+
+
+def _app_variant_matrix():
+    for name in sorted(ALL_APPS):
+        for variant in ALL_APPS[name]().variants:
+            yield name, variant
+
+
+@pytest.mark.parametrize("name,variant", list(_app_variant_matrix()))
+def test_rodinia_ports_analyze_clean(name, variant):
+    """All six ports, every memory model: no races, no lifetime bugs."""
+    findings = analyze_app(name, variant, params=SMALL_PARAMS[name])
+    reported = [f for f in findings if f.severity > Severity.INFO]
+    assert reported == [], render_text(reported)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+class TestAnalyzeCli:
+    def test_analyze_single_app_quick(self, capsys):
+        from repro.cli import main
+
+        code = main(["analyze", "--quick", "--app", "hotspot"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "hotspot" in out
+        assert "clean" in out
+
+    def test_analyze_rejects_unknown_app(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["analyze", "--app", "nosuchapp"])

@@ -48,7 +48,7 @@ class TestDesignDoc:
     def test_inventory_matches_packages(self, design):
         src = ROOT / "src" / "repro"
         for package in ("hw", "core", "runtime", "perf", "bench",
-                        "profiling", "apps", "porting", "uvm"):
+                        "profiling", "apps", "porting", "uvm", "analyze"):
             assert f"repro.{package}" in design, package
             assert (src / package / "__init__.py").exists(), package
 

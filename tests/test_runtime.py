@@ -8,7 +8,14 @@ from repro.hw.clock import SimClock
 from repro.hw.config import KiB, MiB
 from repro.runtime.arrays import DeviceArray
 from repro.runtime.sdma import memcpy_bandwidth_bytes_per_s, memcpy_time_ns
-from repro.runtime.stream import Event, Stream, StreamRegistry
+from hypothesis import given, settings, strategies as st
+
+from repro.runtime.stream import (
+    Event,
+    Stream,
+    StreamRegistry,
+    UnrecordedEventError,
+)
 
 
 class TestStreams:
@@ -77,8 +84,12 @@ class TestEvents:
         assert start == 400.0
 
     def test_wait_unrecorded_rejected(self):
-        with pytest.raises(RuntimeError):
-            Stream(SimClock()).wait_event(Event())
+        with pytest.raises(UnrecordedEventError, match="unrecorded"):
+            Stream(SimClock()).wait_event(Event("orphan"))
+
+    def test_wait_unrecorded_names_the_event(self):
+        with pytest.raises(UnrecordedEventError, match="orphan"):
+            Stream(SimClock()).wait_event(Event("orphan"))
 
     def test_elapsed_between_events(self):
         clock = SimClock()
@@ -91,8 +102,73 @@ class TestEvents:
         assert e2.elapsed_since(e1) == pytest.approx(250.0)
 
     def test_elapsed_requires_recorded(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(UnrecordedEventError):
             Event().elapsed_since(Event())
+
+    def test_elapsed_names_the_unrecorded_event(self):
+        clock = SimClock()
+        stream = Stream(clock)
+        recorded = Event("done")
+        stream.record_event(recorded)
+        with pytest.raises(UnrecordedEventError, match="ghost"):
+            recorded.elapsed_since(Event("ghost"))
+        with pytest.raises(UnrecordedEventError, match="ghost"):
+            Event("ghost").elapsed_since(recorded)
+
+    def test_host_event_synchronize_unrecorded_rejected(self):
+        from repro.runtime.hip import make_runtime
+
+        hip = make_runtime(memory_gib=1)
+        with pytest.raises(UnrecordedEventError, match="limbo"):
+            hip.hipEventSynchronize(hip.hipEventCreate("limbo"))
+
+    def test_host_event_synchronize_advances_clock(self):
+        from repro.runtime.hip import make_runtime
+
+        hip = make_runtime(memory_gib=1)
+        stream = hip.hipStreamCreate("s")
+        stream.enqueue(2_000.0)
+        event = hip.hipEventCreate("mid")
+        hip.hipEventRecord(event, stream)
+        hip.hipEventSynchronize(event)
+        assert hip.apu.clock.now_ns >= 2_000.0
+
+
+class TestCrossStreamOrdering:
+    @given(
+        before=st.lists(
+            st.floats(min_value=1.0, max_value=1e5), min_size=0, max_size=6
+        ),
+        waiter_head=st.lists(
+            st.floats(min_value=1.0, max_value=1e5), min_size=0, max_size=6
+        ),
+        after_ns=st.floats(min_value=1.0, max_value=1e5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_wait_event_is_a_happens_before_edge(
+        self, before, waiter_head, after_ns
+    ):
+        """Work enqueued after a wait never starts before the event.
+
+        Record an event on stream A after arbitrary work; make stream B
+        (with its own arbitrary backlog) wait on it; every subsequent
+        enqueue on B starts at or after both the event's timestamp and
+        B's own prior horizon — the edge the hipsan vector clocks model.
+        """
+        clock = SimClock()
+        producer, consumer = Stream(clock), Stream(clock, uid="s1")
+        for duration in before:
+            producer.enqueue(duration)
+        event = Event("edge")
+        producer.record_event(event)
+        backlog_end = 0.0
+        for duration in waiter_head:
+            _, backlog_end = consumer.enqueue(duration)
+        consumer.wait_event(event)
+        start, end = consumer.enqueue(after_ns)
+        assert start >= event.timestamp_ns
+        assert start >= backlog_end
+        assert end == start + after_ns
 
 
 class TestStreamRegistry:
