@@ -1,8 +1,9 @@
 """Fig. 10 — total CPU page faults in the CPU STREAM benchmark.
 
-Regenerates the perf-stat fault counts over allocation + initialisation
-+ 10 TRIAD iterations on 3 x 610 MiB arrays, for the paper's three
-configurations: baseline (XNACK=0), XNACK=1, and GPU first-touch.
+Regenerates the perf-stat fault counts via the ``fig10`` registry
+experiment: allocation + initialisation + 10 TRIAD iterations on
+3 x 610 MiB arrays, for the paper's three configurations — baseline
+(XNACK=0), XNACK=1, and GPU first-touch.
 
 Paper anchors: malloc and hipMallocManaged(XNACK=1) take ~472 K faults
 (one per page); hipMalloc/hipHostMalloc take 3.7-4.6 K when CPU
@@ -12,50 +13,29 @@ granularity signature of Section 5.4.
 
 import pytest
 
-from conftest import print_table
-from repro.bench import stream
+from conftest import experiment_rows, print_table
+from repro.exp.experiments import FIG10_CONFIGS
 from repro.hw.config import MiB
 
 ARRAY_BYTES = 610 * MiB
 TOTAL_PAGES = 3 * (ARRAY_BYTES // 4096)
 
-CONFIGS = [
-    # (label, allocator, xnack, init_device)
-    ("malloc / baseline", "malloc", False, "cpu"),
-    ("malloc / xnack", "malloc", True, "cpu"),
-    ("malloc / gpu-init", "malloc", True, "gpu"),
-    ("hipMalloc / baseline", "hipMalloc", False, "cpu"),
-    ("hipMalloc / gpu-init", "hipMalloc", False, "gpu"),
-    ("hipHostMalloc / baseline", "hipHostMalloc", False, "cpu"),
-    ("hipHostMalloc / gpu-init", "hipHostMalloc", False, "gpu"),
-    ("managed / xnack", "hipMallocManaged(xnack=1)", True, "cpu"),
-]
-
-
-def run_table():
-    out = {}
-    for label, allocator, xnack, init in CONFIGS:
-        report = stream.cpu_fault_count(
-            allocator, xnack=xnack, init_device=init,
-            array_bytes=ARRAY_BYTES, memory_gib=16,
-        )
-        out[label] = report.page_faults
-    return out
-
 
 @pytest.fixture(scope="module")
-def faults():
-    return run_table()
+def faults(experiment):
+    return {r["config"]: r["page_faults"] for r in experiment("fig10")}
 
 
 def test_fig10_table(benchmark):
-    counts = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: experiment_rows("fig10", fresh=True), rounds=1, iterations=1
+    )
     print_table(
         "Fig. 10: CPU page faults in CPU STREAM (3 x 610 MiB, 10 iters)",
         ["configuration", "page_faults"],
-        [(label, f"{n:,}") for label, n in counts.items()],
+        [(r["config"], f"{r['page_faults']:,}") for r in rows],
     )
-    assert len(counts) == len(CONFIGS)
+    assert len(rows) == len(FIG10_CONFIGS)
 
 
 def test_on_demand_allocators_one_fault_per_page(faults):

@@ -1,8 +1,9 @@
 """Fig. 11 — six HPC applications: unified vs explicit memory model.
 
-Regenerates the application study: total execution time, compute-phase
-time, and peak memory usage of each unified variant normalised to the
-explicit baseline.  Paper findings asserted:
+Regenerates the application study via the ``apps`` registry experiment:
+total execution time, compute-phase time, and peak memory usage of each
+unified variant normalised to the explicit baseline.  Paper findings
+asserted:
 
 * backprop: compute -35 %, total -19 %;
 * dwt2d: compute -86 %, total ~unchanged (I/O dominated), memory
@@ -18,78 +19,66 @@ explicit baseline.  Paper findings asserted:
 
 import pytest
 
-from conftest import print_table
-from repro.apps import ALL_APPS, compare
-
-
-def run_study():
-    comparisons = {}
-    for name, cls in ALL_APPS.items():
-        app = cls()
-        baseline = app.run("explicit")
-        for variant in app.variants:
-            if variant == "explicit":
-                continue
-            result = app.run(variant)
-            comparisons[(name, variant)] = compare(baseline, result)
-    return comparisons
+from conftest import experiment_rows, print_table
 
 
 @pytest.fixture(scope="module")
-def study():
-    return run_study()
+def study(experiment):
+    return {(r["app"], r["variant"]): r for r in experiment("apps")}
 
 
 def test_fig11_study(benchmark):
-    comparisons = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: experiment_rows("apps", fresh=True), rounds=1, iterations=1
+    )
     print_table(
         "Fig. 11: unified / explicit ratios",
         ["app", "variant", "total_time", "compute_time", "peak_memory"],
         [
-            (name, variant, f"{c.total_time_ratio:.2f}",
-             f"{c.compute_time_ratio:.2f}", f"{c.memory_ratio:.2f}")
-            for (name, variant), c in sorted(comparisons.items())
+            (r["app"], r["variant"], f"{r['total_time_ratio']:.2f}",
+             f"{r['compute_time_ratio']:.2f}", f"{r['memory_ratio']:.2f}")
+            for r in sorted(rows, key=lambda r: (r["app"], r["variant"]))
         ],
     )
-    assert len(comparisons) == 8  # 4 single-variant + 2x2 multi-variant
+    assert len(rows) == 8  # 4 single-variant + 2x2 multi-variant
 
 
 class TestTimeFindings:
     def test_backprop_improves(self, study):
         c = study[("backprop", "unified")]
-        assert 0.55 <= c.compute_time_ratio <= 0.75  # paper: -35 %
-        assert 0.70 <= c.total_time_ratio <= 0.92  # paper: -19 %
+        assert 0.55 <= c["compute_time_ratio"] <= 0.75  # paper: -35 %
+        assert 0.70 <= c["total_time_ratio"] <= 0.92  # paper: -19 %
 
     def test_dwt2d_compute_collapses_total_flat(self, study):
         c = study[("dwt2d", "unified")]
-        assert c.compute_time_ratio <= 0.25  # paper: -86 %
-        assert 0.80 <= c.total_time_ratio <= 1.05  # I/O dominated
+        assert c["compute_time_ratio"] <= 0.25  # paper: -86 %
+        assert 0.80 <= c["total_time_ratio"] <= 1.05  # I/O dominated
 
     def test_srad_compute_unchanged(self, study):
         c = study[("srad_v1", "unified")]
-        assert 0.85 <= c.compute_time_ratio <= 1.1
+        assert 0.85 <= c["compute_time_ratio"] <= 1.1
 
     def test_hotspot_competitive(self, study):
         c = study[("hotspot", "unified")]
-        assert c.total_time_ratio <= 1.05
+        assert c["total_time_ratio"] <= 1.05
 
     def test_heartwall_v1_managed_static_penalty(self, study):
         c = study[("heartwall", "unified-v1")]
-        assert 1.05 <= c.total_time_ratio <= 1.30  # paper: +18 %
+        assert 1.05 <= c["total_time_ratio"] <= 1.30  # paper: +18 %
 
     def test_heartwall_v2_parity(self, study):
         c = study[("heartwall", "unified-v2")]
-        assert 0.85 <= c.total_time_ratio <= 1.1
+        assert 0.85 <= c["total_time_ratio"] <= 1.1
 
     def test_nn_compute_outlier(self, study):
         c = study[("nn", "unified")]
-        assert c.compute_time_ratio >= 1.5  # significantly higher
+        assert c["compute_time_ratio"] >= 1.5  # significantly higher
 
     def test_nn_std_allocator_fix(self, study):
         broken = study[("nn", "unified")]
         fixed = study[("nn", "unified-hipalloc")]
-        assert fixed.compute_time_ratio < 1.0
-        assert fixed.compute_time_ratio < broken.compute_time_ratio / 3
+        assert fixed["compute_time_ratio"] < 1.0
+        assert fixed["compute_time_ratio"] < broken["compute_time_ratio"] / 3
 
     def test_unified_competitive_overall(self, study):
         """The headline: with the porting strategies applied (v2 for
@@ -102,7 +91,7 @@ class TestTimeFindings:
             study[("heartwall", "unified-v2")],
         ]
         for c in good:
-            assert c.total_time_ratio <= 1.1, c.app
+            assert c["total_time_ratio"] <= 1.1, c["app"]
 
 
 class TestMemoryFindings:
@@ -114,11 +103,11 @@ class TestMemoryFindings:
             ("srad_v1", "unified"),
         ):
             c = study[key]
-            assert 0.5 <= c.memory_ratio <= 0.9, key  # 10-50 % saved
+            assert 0.5 <= c["memory_ratio"] <= 0.9, key  # 10-50 % saved
 
     def test_max_saving_at_least_44_percent(self, study):
         best = min(
-            study[key].memory_ratio
+            study[key]["memory_ratio"]
             for key in (
                 ("backprop", "unified"),
                 ("hotspot", "unified"),
@@ -129,11 +118,10 @@ class TestMemoryFindings:
         assert best <= 0.56  # paper: up to 44 % saved
 
     def test_dwt2d_memory_unchanged(self, study):
-        assert study[("dwt2d", "unified")].memory_ratio == pytest.approx(
+        assert study[("dwt2d", "unified")]["memory_ratio"] == pytest.approx(
             1.0, abs=0.05
         )
 
     def test_heartwall_v2_memory_unchanged(self, study):
-        assert study[("heartwall", "unified-v2")].memory_ratio == pytest.approx(
-            1.0, abs=0.05
-        )
+        assert study[("heartwall", "unified-v2")]["memory_ratio"] == \
+            pytest.approx(1.0, abs=0.05)

@@ -1,7 +1,8 @@
 """Fig. 2 — memory latency on GPU and CPU with different allocators.
 
-Regenerates the latency-vs-buffer-size curves (1 KiB to 4 GiB) for the
-paper's allocator set on both devices, and asserts the findings:
+Regenerates the latency-vs-buffer-size curves (1 KiB to 4 GiB) via the
+``fig2`` registry experiment for the paper's allocator set on both
+devices, and asserts the findings:
 
 * GPU plateaus: ~57 ns (L1), 100-108 ns (L2), 205-218 ns (IC),
   333-350 ns (HBM);
@@ -13,14 +14,12 @@ paper's allocator set on both devices, and asserts the findings:
 
 import pytest
 
-from conftest import print_table
-from repro.bench import multichase
+from conftest import experiment_rows, print_table
+from repro.exp import get_spec
+from repro.exp.experiments import FIG2_SIZES
 from repro.hw.config import GiB, KiB, MiB
 
-SIZES = [
-    1 * KiB, 32 * KiB, 1 * MiB, 32 * MiB, 128 * MiB,
-    256 * MiB, 512 * MiB, 1 * GiB, 2 * GiB, 4 * GiB,
-]
+SIZES = list(FIG2_SIZES)
 
 ALLOCATORS = [
     "malloc",
@@ -31,21 +30,18 @@ ALLOCATORS = [
 ]
 
 
-def run_sweep():
-    return multichase.full_sweep(
-        sizes=SIZES, allocators=ALLOCATORS, memory_gib=16
-    )
-
-
 @pytest.fixture(scope="module")
-def samples(request):
-    return run_sweep()
+def samples(experiment):
+    return experiment("fig2")
 
 
 def test_fig2_full_sweep(benchmark):
-    samples = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    samples = benchmark.pedantic(
+        lambda: experiment_rows("fig2", fresh=True), rounds=1, iterations=1
+    )
     rows = [
-        (s.allocator, s.device, f"{s.size_bytes >> 10} KiB", f"{s.latency_ns:.1f}")
+        (s["allocator"], s["device"], f"{s['size_bytes'] >> 10} KiB",
+         f"{s['latency_ns']:.1f}")
         for s in samples
     ]
     print_table(
@@ -53,13 +49,15 @@ def test_fig2_full_sweep(benchmark):
         ["allocator", "device", "size", "latency_ns"],
         rows,
     )
-    assert len(samples) == len(SIZES) * len(ALLOCATORS) * 2
+    assert len(samples) == get_spec("fig2").point_count() * len(SIZES)
 
 
 def _lookup(samples, allocator, device, size):
     for s in samples:
-        if (s.allocator, s.device, s.size_bytes) == (allocator, device, size):
-            return s.latency_ns
+        if (s["allocator"], s["device"], s["size_bytes"]) == (
+            allocator, device, size,
+        ):
+            return s["latency_ns"]
     raise KeyError((allocator, device, size))
 
 

@@ -1,8 +1,9 @@
 """Fig. 3 — maximum STREAM TRIAD bandwidth per allocator, GPU and CPU.
 
-Regenerates the two bar charts: GPU bandwidth (256 MiB arrays) and CPU
-bandwidth (610 MiB arrays, thread sweep with best-of selection), for
-each allocator and first-touch device.  Findings asserted:
+Regenerates the two bar charts via the ``fig3`` registry experiment:
+GPU bandwidth (256 MiB arrays) and CPU bandwidth (610 MiB arrays,
+thread sweep with best-of selection), for each allocator and
+first-touch device.  Findings asserted:
 
 * GPU: hipMalloc 3.5-3.6 TB/s, pinned allocators 2.1-2.2 TB/s,
   on-demand 1.8-1.9 TB/s, __managed__ 103 GB/s; independent of who
@@ -14,9 +15,8 @@ each allocator and first-touch device.  Findings asserted:
 
 import pytest
 
-from conftest import fmt_rate, print_table
-from repro.bench import stream
-from repro.hw.config import MiB
+from conftest import experiment_rows, fmt_rate, print_table
+from repro.exp import get_spec
 
 GPU_ALLOCATORS = [
     "hipMalloc",
@@ -36,85 +36,78 @@ CPU_ALLOCATORS = [
 ]
 
 
-def run_sweep():
-    gpu = [
-        stream.gpu_triad(a, init_device=init, memory_gib=16)
-        for a in GPU_ALLOCATORS
-        for init in (("cpu", "gpu") if a != "__managed__" else ("cpu",))
-    ]
-    cpu = [
-        stream.cpu_triad(a, init_device=init, memory_gib=16)
-        for a in CPU_ALLOCATORS
-        for init in (("cpu", "gpu") if a in ("malloc",) else ("cpu",))
-    ]
-    return gpu, cpu
-
-
 @pytest.fixture(scope="module")
-def results():
-    return run_sweep()
+def results(experiment):
+    return experiment("fig3")
 
 
 def test_fig3_sweep(benchmark):
-    gpu, cpu = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: experiment_rows("fig3", fresh=True), rounds=1, iterations=1
+    )
     print_table(
         "Fig. 3 (top): GPU TRIAD bandwidth",
         ["allocator", "init", "bandwidth"],
-        [(r.allocator, r.init_device, fmt_rate(r.bandwidth_bytes_per_s, "B/s"))
-         for r in gpu],
+        [(r["allocator"], r["init_device"],
+          fmt_rate(r["bandwidth_bytes_per_s"], "B/s"))
+         for r in rows if r["device"] == "gpu"],
     )
     print_table(
         "Fig. 3 (bottom): CPU TRIAD bandwidth (best over threads)",
         ["allocator", "init", "bandwidth", "best_threads"],
-        [(r.allocator, r.init_device, fmt_rate(r.bandwidth_bytes_per_s, "B/s"),
-          r.best_threads) for r in cpu],
+        [(r["allocator"], r["init_device"],
+          fmt_rate(r["bandwidth_bytes_per_s"], "B/s"), r["best_threads"])
+         for r in rows if r["device"] == "cpu"],
     )
-    assert gpu and cpu
+    assert len(rows) == get_spec("fig3").point_count()
+
+
+def _pick(results, device, allocator, init="cpu"):
+    for r in results:
+        if (r["device"], r["allocator"], r["init_device"]) == (
+            device, allocator, init,
+        ):
+            return r
+    raise KeyError((device, allocator, init))
 
 
 def _gpu(results, allocator, init="cpu"):
-    for r in results[0]:
-        if r.allocator == allocator and r.init_device == init:
-            return r
-    raise KeyError(allocator)
+    return _pick(results, "gpu", allocator, init)
 
 
 def _cpu(results, allocator, init="cpu"):
-    for r in results[1]:
-        if r.allocator == allocator and r.init_device == init:
-            return r
-    raise KeyError(allocator)
+    return _pick(results, "cpu", allocator, init)
 
 
 class TestGPUTiers:
     def test_hipmalloc_peak(self, results):
-        bw = _gpu(results, "hipMalloc").bandwidth_bytes_per_s
+        bw = _gpu(results, "hipMalloc")["bandwidth_bytes_per_s"]
         assert 3.5e12 <= bw <= 3.6e12
 
     def test_pinned_tier(self, results):
         for a in ("hipHostMalloc", "malloc+register", "hipMallocManaged(xnack=0)"):
-            bw = _gpu(results, a).bandwidth_bytes_per_s
+            bw = _gpu(results, a)["bandwidth_bytes_per_s"]
             assert 2.1e12 <= bw <= 2.2e12, a
 
     def test_on_demand_tier(self, results):
         for a in ("malloc", "hipMallocManaged(xnack=1)"):
-            bw = _gpu(results, a).bandwidth_bytes_per_s
+            bw = _gpu(results, a)["bandwidth_bytes_per_s"]
             assert 1.8e12 <= bw <= 1.9e12, a
 
     def test_managed_static_tier(self, results):
-        bw = _gpu(results, "__managed__").bandwidth_bytes_per_s
+        bw = _gpu(results, "__managed__")["bandwidth_bytes_per_s"]
         assert bw == pytest.approx(103e9, rel=0.05)
 
     def test_init_device_insensitive(self, results):
         for a in ("hipMalloc", "malloc", "hipHostMalloc"):
-            cpu_init = _gpu(results, a, "cpu").bandwidth_bytes_per_s
-            gpu_init = _gpu(results, a, "gpu").bandwidth_bytes_per_s
+            cpu_init = _gpu(results, a, "cpu")["bandwidth_bytes_per_s"]
+            gpu_init = _gpu(results, a, "gpu")["bandwidth_bytes_per_s"]
             assert gpu_init == pytest.approx(cpu_init, rel=0.05), a
 
     def test_hipmalloc_advantage_1_6_to_2x(self, results):
-        hip = _gpu(results, "hipMalloc").bandwidth_bytes_per_s
+        hip = _gpu(results, "hipMalloc")["bandwidth_bytes_per_s"]
         for a in GPU_ALLOCATORS[1:-1]:
-            ratio = hip / _gpu(results, a).bandwidth_bytes_per_s
+            ratio = hip / _gpu(results, a)["bandwidth_bytes_per_s"]
             assert 1.6 <= ratio <= 2.0, a
 
 
@@ -122,28 +115,28 @@ class TestCPUCases:
     def test_case_a_hip_allocators(self, results):
         for a in ("hipMalloc", "hipHostMalloc"):
             r = _cpu(results, a)
-            assert r.bandwidth_bytes_per_s == pytest.approx(208e9, rel=0.02), a
-            assert r.best_threads == 24
+            assert r["bandwidth_bytes_per_s"] == pytest.approx(208e9, rel=0.02), a
+            assert r["best_threads"] == 24
 
     def test_case_b_malloc(self, results):
         r = _cpu(results, "malloc")
-        assert r.bandwidth_bytes_per_s == pytest.approx(181e9, rel=0.02)
-        assert r.best_threads == 9
+        assert r["bandwidth_bytes_per_s"] == pytest.approx(181e9, rel=0.02)
+        assert r["best_threads"] == 9
 
     def test_case_b_managed_xnack(self, results):
         r = _cpu(results, "hipMallocManaged(xnack=1)")
-        assert r.bandwidth_bytes_per_s == pytest.approx(180e9, rel=0.03)
+        assert r["bandwidth_bytes_per_s"] == pytest.approx(180e9, rel=0.03)
 
     def test_gpu_init_promotes_malloc_to_case_a(self, results):
         r = _cpu(results, "malloc", init="gpu")
-        assert r.bandwidth_bytes_per_s == pytest.approx(208e9, rel=0.02)
-        assert r.best_threads == 24
+        assert r["bandwidth_bytes_per_s"] == pytest.approx(208e9, rel=0.02)
+        assert r["best_threads"] == 24
 
 
 class TestUtilisation:
     def test_cpu_3_percent_gpu_67_percent(self, results):
         peak = 5.3e12
-        cpu_frac = _cpu(results, "hipMalloc").bandwidth_bytes_per_s / peak
-        gpu_frac = _gpu(results, "hipMalloc").bandwidth_bytes_per_s / peak
+        cpu_frac = _cpu(results, "hipMalloc")["bandwidth_bytes_per_s"] / peak
+        gpu_frac = _gpu(results, "hipMalloc")["bandwidth_bytes_per_s"] / peak
         assert 0.02 <= cpu_frac <= 0.06
         assert 0.6 <= gpu_frac <= 0.72

@@ -1,55 +1,47 @@
 """Fig. 4 — atomics throughput on CPU and GPU, isolated.
 
 Regenerates the eight panels (CPU/GPU x UINT64/FP64 x four array sizes)
-of the parallel-histogram benchmark's thread sweeps and asserts the
-paper's findings about contention, cache fit, and the CAS-loop FP64
-penalty.  A functional histogram run checks the conservation invariant
-the real benchmark relies on.
+of the parallel-histogram benchmark's thread sweeps via the ``fig4``
+registry experiment and asserts the paper's findings about contention,
+cache fit, and the CAS-loop FP64 penalty.  A functional histogram run
+checks the conservation invariant the real benchmark relies on.
 """
 
 import pytest
 
-from conftest import fmt_rate, print_table
+from conftest import experiment_rows, fmt_rate, print_table
 from repro.bench import histogram
 
 SIZES = histogram.ARRAY_SIZES
 SIZE_LABELS = {1: "1", 1 << 10: "1K", 1 << 20: "1M", 1 << 30: "1G"}
 
 
-def run_sweep():
-    out = {}
-    for dtype in ("uint64", "fp64"):
-        for elements in SIZES:
-            out[("cpu", dtype, elements)] = histogram.cpu_sweep(elements, dtype)
-            out[("gpu", dtype, elements)] = histogram.gpu_sweep(elements, dtype)
-    return out
-
-
 @pytest.fixture(scope="module")
-def sweeps():
-    return run_sweep()
+def sweeps(experiment):
+    return experiment("fig4")
 
 
 def _tput(sweeps, device, dtype, elements, threads):
-    for s in sweeps[(device, dtype, elements)]:
-        if s.threads == threads:
-            return s.updates_per_s
-    raise KeyError(threads)
+    for s in sweeps:
+        if (s["device"], s["dtype"], s["elements"], s["threads"]) == (
+            device, dtype, elements, threads,
+        ):
+            return s["updates_per_s"]
+    raise KeyError((device, dtype, elements, threads))
 
 
 def test_fig4_sweep(benchmark):
-    sweeps = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
-    rows = []
-    for (device, dtype, elements), samples in sweeps.items():
-        for s in samples:
-            rows.append(
-                (device, dtype, SIZE_LABELS[elements], s.threads,
-                 fmt_rate(s.updates_per_s, "upd/s"))
-            )
+    rows = benchmark.pedantic(
+        lambda: experiment_rows("fig4", fresh=True), rounds=1, iterations=1
+    )
     print_table(
         "Fig. 4: atomics throughput",
         ["device", "dtype", "array", "threads", "throughput"],
-        rows,
+        [
+            (s["device"], s["dtype"], SIZE_LABELS[s["elements"]], s["threads"],
+             fmt_rate(s["updates_per_s"], "upd/s"))
+            for s in rows
+        ],
     )
     expected = 2 * 4 * (len(histogram.CPU_THREADS) + len(histogram.GPU_THREADS))
     assert len(rows) == expected

@@ -1,63 +1,61 @@
 """Fig. 5 — relative CPU and GPU atomics performance when co-running.
 
 Regenerates the co-run heatmaps (CPU threads x GPU threads, for the 1K
-and 1M arrays, UINT64 and FP64) normalised to the isolated baselines of
-Fig. 4, and asserts the paper's cross-device coherence findings.
+and 1M arrays, UINT64 and FP64) via the ``fig5`` registry experiment,
+normalised to the isolated baselines of Fig. 4, and asserts the paper's
+cross-device coherence findings.
 """
 
 import math
 
 import pytest
 
-from conftest import print_table
-from repro.bench import histogram
+from conftest import experiment_rows, print_table
+from repro.exp.experiments import FIG5_CPU_THREADS, FIG5_GPU_THREADS
 
-CPU_THREADS = [1, 3, 6, 12, 24]
-GPU_THREADS = [64, 640, 1280, 2304, 3328, 6400, 10496, 14592]
-
-
-def run_grids():
-    out = {}
-    for dtype in ("uint64", "fp64"):
-        for elements in (1 << 10, 1 << 20):
-            out[(dtype, elements)] = histogram.hybrid_grid(
-                elements, dtype, CPU_THREADS, GPU_THREADS
-            )
-    return out
+CPU_THREADS = list(FIG5_CPU_THREADS)
+GPU_THREADS = list(FIG5_GPU_THREADS)
 
 
 @pytest.fixture(scope="module")
-def grids():
-    return run_grids()
+def grids(experiment):
+    return experiment("fig5")
 
 
 def _cell(grids, dtype, elements, cpu_threads, gpu_threads):
-    for sample in grids[(dtype, elements)]:
-        if (sample.cpu_threads, sample.gpu_threads) == (cpu_threads, gpu_threads):
-            return sample.result
-    raise KeyError((cpu_threads, gpu_threads))
+    for row in grids:
+        if (row["dtype"], row["elements"], row["cpu_threads"],
+                row["gpu_threads"]) == (dtype, elements, cpu_threads,
+                                        gpu_threads):
+            return row
+    raise KeyError((dtype, elements, cpu_threads, gpu_threads))
 
 
 def test_fig5_grids(benchmark):
-    grids = benchmark.pedantic(run_grids, rounds=1, iterations=1)
-    for (dtype, elements), samples in grids.items():
+    rows = benchmark.pedantic(
+        lambda: experiment_rows("fig5", fresh=True), rounds=1, iterations=1
+    )
+    panels = sorted({(r["dtype"], r["elements"]) for r in rows})
+    for dtype, elements in panels:
         label = "1K" if elements == 1 << 10 else "1M"
         print_table(
             f"Fig. 5: co-run relative performance, {label} {dtype}",
             ["cpu_threads", "gpu_threads", "cpu_rel", "gpu_rel"],
             [
-                (s.cpu_threads, s.gpu_threads,
-                 f"{s.result.cpu_relative:.2f}", f"{s.result.gpu_relative:.2f}")
-                for s in samples
+                (r["cpu_threads"], r["gpu_threads"],
+                 f"{r['cpu_relative']:.2f}", f"{r['gpu_relative']:.2f}")
+                for r in rows
+                if (r["dtype"], r["elements"]) == (dtype, elements)
             ],
         )
-    assert len(grids) == 4
+    assert len(panels) == 4
+    assert len(rows) == 4 * len(CPU_THREADS) * len(GPU_THREADS)
 
 
 class Test1KContention:
     def test_cpu_at_best_within_13_percent(self, grids):
         best = max(
-            _cell(grids, "uint64", 1 << 10, c, g).cpu_relative
+            _cell(grids, "uint64", 1 << 10, c, g)["cpu_relative"]
             for c in CPU_THREADS
             for g in GPU_THREADS
         )
@@ -66,30 +64,30 @@ class Test1KContention:
     def test_cpu_crushed_past_3328_gpu_threads(self, grids):
         for g in (3328, 6400, 10496, 14592):
             for c in (6, 12, 24):
-                rel = _cell(grids, "uint64", 1 << 10, c, g).cpu_relative
+                rel = _cell(grids, "uint64", 1 << 10, c, g)["cpu_relative"]
                 assert 0.11 <= rel <= 0.28, (c, g)
 
     def test_gpu_stable_below_3328_threads(self, grids):
         for g in (64, 640, 1280):
-            rel = _cell(grids, "uint64", 1 << 10, 6, g).gpu_relative
+            rel = _cell(grids, "uint64", 1 << 10, 6, g)["gpu_relative"]
             assert rel >= 0.95, g
 
     def test_gpu_drops_to_079_at_max_pressure(self, grids):
-        rel = _cell(grids, "uint64", 1 << 10, 24, 14592).gpu_relative
+        rel = _cell(grids, "uint64", 1 << 10, 24, 14592)["gpu_relative"]
         assert rel == pytest.approx(0.79, abs=0.05)
 
 
 class Test1MCoRun:
     def test_uint64_cpu_speedup_region(self, grids):
         best = max(
-            _cell(grids, "uint64", 1 << 20, 6, g).cpu_relative
+            _cell(grids, "uint64", 1 << 20, 6, g)["cpu_relative"]
             for g in (2304, 3328, 6400)
         )
         assert 1.05 <= best <= 1.2  # paper: up to 1.14x at 6 CPU threads
 
     def test_uint64_gpu_slight_speedup(self, grids):
         rels = [
-            _cell(grids, "uint64", 1 << 20, c, g).gpu_relative
+            _cell(grids, "uint64", 1 << 20, c, g)["gpu_relative"]
             for c in (3, 6, 12)
             for g in (2304, 6400)
         ]
@@ -98,7 +96,7 @@ class Test1MCoRun:
 
     def test_uint64_gpu_geomean_near_unity(self, grids):
         rels = [
-            _cell(grids, "uint64", 1 << 20, c, g).gpu_relative
+            _cell(grids, "uint64", 1 << 20, c, g)["gpu_relative"]
             for c in CPU_THREADS
             for g in GPU_THREADS
         ]
@@ -108,15 +106,15 @@ class Test1MCoRun:
     def test_fp64_speedup_region_same_location(self, grids):
         best_g = max(
             (g for g in GPU_THREADS),
-            key=lambda g: _cell(grids, "fp64", 1 << 20, 6, g).cpu_relative,
+            key=lambda g: _cell(grids, "fp64", 1 << 20, 6, g)["cpu_relative"],
         )
         assert 640 <= best_g <= 6400
 
     def test_fp64_cpu_lower_than_uint64(self, grids):
         # Absolute FP64 throughput trails UINT64 even when relative
         # numbers look similar.
-        u = _cell(grids, "uint64", 1 << 20, 6, 2304).cpu_updates_per_s
-        f = _cell(grids, "fp64", 1 << 20, 6, 2304).cpu_updates_per_s
+        u = _cell(grids, "uint64", 1 << 20, 6, 2304)["cpu_updates_per_s"]
+        f = _cell(grids, "fp64", 1 << 20, 6, 2304)["cpu_updates_per_s"]
         assert f < u
 
 
@@ -125,4 +123,4 @@ class TestContrast:
         """The summary claim of Section 4.4: contention hurts the CPU far
         more than the GPU in hybrid algorithms."""
         cell = _cell(grids, "uint64", 1 << 10, 12, 6400)
-        assert cell.gpu_relative - cell.cpu_relative > 0.5
+        assert cell["gpu_relative"] - cell["cpu_relative"] > 0.5

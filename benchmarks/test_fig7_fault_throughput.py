@@ -1,43 +1,41 @@
 """Fig. 7 — page-fault throughput in four scenarios.
 
 Regenerates the throughput-vs-page-count curves (GPU Major, GPU Minor,
-1CPU, 12CPU) from the calibrated fault model, cross-checked against the
-live simulator at a plateau point, and asserts the paper's plateaus,
-saturation positions, and the 2.2x CPU pre-faulting speedup.
+1CPU, 12CPU) via the ``fig7`` registry experiment, cross-checked
+against the live simulator at a plateau point, and asserts the paper's
+plateaus, saturation positions, and the 2.2x CPU pre-faulting speedup.
 """
 
 import pytest
 
-from conftest import fmt_rate, print_table
+from conftest import experiment_rows, fmt_rate, print_table
 from repro.bench import pagefault
+from repro.exp.experiments import FIG7_PAGE_COUNTS
 from repro.hw.config import default_config
 from repro.perf.faultmodel import prefault_speedup
 
-PAGE_COUNTS = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000]
-
-
-def run_sweep():
-    return pagefault.full_throughput_sweep(page_counts=PAGE_COUNTS)
+PAGE_COUNTS = list(FIG7_PAGE_COUNTS)
 
 
 @pytest.fixture(scope="module")
-def curves():
-    samples = run_sweep()
+def curves(experiment):
     out = {}
-    for s in samples:
-        out.setdefault(s.scenario, {})[s.pages] = s.pages_per_s
+    for r in experiment("fig7"):
+        out.setdefault(r["scenario"], {})[r["pages"]] = r["pages_per_s"]
     return out
 
 
 def test_fig7_sweep(benchmark):
-    samples = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: experiment_rows("fig7", fresh=True), rounds=1, iterations=1
+    )
     print_table(
         "Fig. 7: page-fault throughput",
         ["scenario", "pages", "throughput"],
-        [(s.scenario, f"{s.pages:,}", fmt_rate(s.pages_per_s, "pages/s"))
-         for s in samples],
+        [(r["scenario"], f"{r['pages']:,}", fmt_rate(r["pages_per_s"], "pages/s"))
+         for r in rows],
     )
-    assert len(samples) == 4 * len(PAGE_COUNTS)
+    assert len(rows) == 4 * len(PAGE_COUNTS)
 
 
 class TestPlateaus:

@@ -1,65 +1,63 @@
 """Fig. 8 — distribution of single page-fault latency, CPU vs GPU.
 
 Regenerates the latency distributions (mean and tail) of resolving one
-page fault: CPU minor, GPU minor, GPU major.  Paper anchors: CPU 9 us
-mean / 11 us p95; GPU minor 16/20 us; GPU major 18/22 us — the GPU is
-1.8-2.0x slower with higher variability.
+page fault via the ``fig8`` registry experiment: CPU minor, GPU minor,
+GPU major.  Paper anchors: CPU 9 us mean / 11 us p95; GPU minor
+16/20 us; GPU major 18/22 us — the GPU is 1.8-2.0x slower with higher
+variability.
 """
 
-import numpy as np
 import pytest
 
-from conftest import print_table
-from repro.bench import pagefault
-
-
-def run_distributions():
-    return pagefault.latency_distributions(samples=50_000)
+from conftest import experiment_rows, print_table
 
 
 @pytest.fixture(scope="module")
-def stats():
-    return {s.scenario: s for s in run_distributions()}
+def stats(experiment):
+    return {r["fault_type"]: r for r in experiment("fig8")}
 
 
 def test_fig8_distributions(benchmark):
-    rows = benchmark.pedantic(run_distributions, rounds=1, iterations=1)
+    rows = benchmark.pedantic(
+        lambda: experiment_rows("fig8", fresh=True), rounds=1, iterations=1
+    )
     print_table(
         "Fig. 8: single-fault latency (us)",
         ["fault type", "mean", "p50", "p95"],
-        [(s.scenario, f"{s.mean_us:.1f}", f"{s.p50_us:.1f}", f"{s.p95_us:.1f}")
-         for s in rows],
+        [(r["fault_type"], f"{r['mean_us']:.1f}", f"{r['p50_us']:.1f}",
+          f"{r['p95_us']:.1f}")
+         for r in rows],
     )
     assert len(rows) == 3
 
 
 def test_cpu_anchor(stats):
-    assert stats["cpu"].mean_us == pytest.approx(9.0, rel=0.03)
-    assert stats["cpu"].p95_us == pytest.approx(11.0, rel=0.05)
+    assert stats["cpu"]["mean_us"] == pytest.approx(9.0, rel=0.03)
+    assert stats["cpu"]["p95_us"] == pytest.approx(11.0, rel=0.05)
 
 
 def test_gpu_minor_anchor(stats):
-    assert stats["gpu_minor"].mean_us == pytest.approx(16.0, rel=0.03)
-    assert stats["gpu_minor"].p95_us == pytest.approx(20.0, rel=0.05)
+    assert stats["gpu_minor"]["mean_us"] == pytest.approx(16.0, rel=0.03)
+    assert stats["gpu_minor"]["p95_us"] == pytest.approx(20.0, rel=0.05)
 
 
 def test_gpu_major_anchor(stats):
-    assert stats["gpu_major"].mean_us == pytest.approx(18.0, rel=0.03)
-    assert stats["gpu_major"].p95_us == pytest.approx(22.0, rel=0.05)
+    assert stats["gpu_major"]["mean_us"] == pytest.approx(18.0, rel=0.03)
+    assert stats["gpu_major"]["p95_us"] == pytest.approx(22.0, rel=0.05)
 
 
 def test_gpu_1_8_to_2x_cpu(stats):
-    assert 1.7 <= stats["gpu_minor"].mean_us / stats["cpu"].mean_us <= 2.0
-    assert 1.9 <= stats["gpu_major"].mean_us / stats["cpu"].mean_us <= 2.1
+    assert 1.7 <= stats["gpu_minor"]["mean_us"] / stats["cpu"]["mean_us"] <= 2.0
+    assert 1.9 <= stats["gpu_major"]["mean_us"] / stats["cpu"]["mean_us"] <= 2.1
 
 
 def test_gpu_has_higher_variability(stats):
-    cpu_spread = stats["cpu"].p95_us - stats["cpu"].p50_us
+    cpu_spread = stats["cpu"]["p95_us"] - stats["cpu"]["p50_us"]
     for scenario in ("gpu_minor", "gpu_major"):
-        gpu_spread = stats[scenario].p95_us - stats[scenario].p50_us
+        gpu_spread = stats[scenario]["p95_us"] - stats[scenario]["p50_us"]
         assert gpu_spread > cpu_spread
 
 
 def test_major_slower_than_minor(stats):
-    assert stats["gpu_major"].mean_us > stats["gpu_minor"].mean_us
-    assert stats["gpu_major"].p95_us > stats["gpu_minor"].p95_us
+    assert stats["gpu_major"]["mean_us"] > stats["gpu_minor"]["mean_us"]
+    assert stats["gpu_major"]["p95_us"] > stats["gpu_minor"]["p95_us"]

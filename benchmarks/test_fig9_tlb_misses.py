@@ -1,16 +1,17 @@
 """Fig. 9 — GPU TLB misses in the STREAM TRIAD kernel, per allocator.
 
 Regenerates the rocprofv3 TCP_UTCL1_TRANSLATION_MISS counter readings
-for the five allocators at the paper's scale (256 MiB arrays, 10
-iterations).  Paper: hipMalloc ~158 K misses; every other allocator
-1.0-1.2 M — the adaptive-fragment mechanism of Section 5.3, and the
-explanation of hipMalloc's bandwidth advantage.
+via the ``fig9`` registry experiment for the five allocators at the
+paper's scale (256 MiB arrays, 10 iterations).  Paper: hipMalloc ~158 K
+misses; every other allocator 1.0-1.2 M — the adaptive-fragment
+mechanism of Section 5.3, and the explanation of hipMalloc's bandwidth
+advantage.
 """
 
 import pytest
 
-from conftest import print_table
-from repro.bench import stream
+from conftest import experiment_rows, print_table
+from repro.exp import get_spec
 
 ALLOCATORS = [
     "malloc",
@@ -21,52 +22,50 @@ ALLOCATORS = [
 ]
 
 
-def run_table():
-    return stream.gpu_tlb_miss_table(allocators=ALLOCATORS, memory_gib=16)
-
-
 @pytest.fixture(scope="module")
-def rows():
-    return {r.allocator: r for r in run_table()}
+def rows(experiment):
+    return {r["allocator"]: r for r in experiment("fig9")}
 
 
 def test_fig9_table(benchmark):
-    results = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    results = benchmark.pedantic(
+        lambda: experiment_rows("fig9", fresh=True), rounds=1, iterations=1
+    )
     print_table(
         "Fig. 9: GPU TLB misses in TRIAD (10 iterations, 3x256 MiB)",
         ["allocator", "tlb_misses"],
-        [(r.allocator, f"{r.gpu_tlb_misses:,}") for r in results],
+        [(r["allocator"], f"{r['gpu_tlb_misses']:,}") for r in results],
     )
-    assert len(results) == len(ALLOCATORS)
+    assert len(results) == get_spec("fig9").point_count() == len(ALLOCATORS)
 
 
 def test_hipmalloc_in_paper_band(rows):
     # Paper: 158 K.  Shape tolerance: same order of magnitude, well
     # separated from the 1 M+ cluster.
-    assert 100_000 <= rows["hipMalloc"].gpu_tlb_misses <= 220_000
+    assert 100_000 <= rows["hipMalloc"]["gpu_tlb_misses"] <= 220_000
 
 
 def test_other_allocators_1_0_to_1_2m(rows):
     for name in ALLOCATORS:
         if name == "hipMalloc":
             continue
-        misses = rows[name].gpu_tlb_misses
+        misses = rows[name]["gpu_tlb_misses"]
         assert 0.9e6 <= misses <= 1.3e6, name
 
 
 def test_hipmalloc_separation_factor(rows):
     """The headline gap: hipMalloc has ~7x (ours ~8x) fewer misses."""
-    hip = rows["hipMalloc"].gpu_tlb_misses
+    hip = rows["hipMalloc"]["gpu_tlb_misses"]
     for name in ALLOCATORS:
         if name == "hipMalloc":
             continue
-        assert rows[name].gpu_tlb_misses / hip >= 5, name
+        assert rows[name]["gpu_tlb_misses"] / hip >= 5, name
 
 
 def test_miss_count_ties_to_bandwidth(rows):
     """Fewer TLB misses <-> higher bandwidth (Sections 4.2 + 5.3)."""
-    ordered = sorted(rows.values(), key=lambda r: r.gpu_tlb_misses)
-    assert ordered[0].allocator == "hipMalloc"
-    assert ordered[0].bandwidth_bytes_per_s == max(
-        r.bandwidth_bytes_per_s for r in rows.values()
+    ordered = sorted(rows.values(), key=lambda r: r["gpu_tlb_misses"])
+    assert ordered[0]["allocator"] == "hipMalloc"
+    assert ordered[0]["bandwidth_bytes_per_s"] == max(
+        r["bandwidth_bytes_per_s"] for r in rows.values()
     )

@@ -14,7 +14,7 @@ the guide's findings on the simulated MI300A:
 import numpy as np
 import pytest
 
-from conftest import fmt_rate, print_table
+from conftest import experiment_rows, fmt_rate, print_table
 from repro.hw.config import GiB, MiB
 from repro.partition import (
     ComputePartition,
@@ -159,22 +159,20 @@ def test_default_mode_is_bit_identical_to_unpartitioned(benchmark):
 
 
 def test_partition_mode_sweep(benchmark):
-    """The full valid-mode sweep stays self-consistent (CLI parity)."""
-
-    def run():
-        out = []
-        for mode in all_valid_modes():
-            aggregate, worst_local = _aggregate_stream(mode)
-            out.append((mode.describe(), aggregate, worst_local))
-        return out
-
-    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    """The registry's ``partition`` experiment stays self-consistent
+    with the direct sweep (CLI parity)."""
+    rows = benchmark.pedantic(
+        lambda: experiment_rows("partition", fresh=True),
+        rounds=1, iterations=1,
+    )
     print_table(
         "Partition mode sweep (aggregate hipMalloc STREAM)",
         ["mode", "aggregate_bw", "min_local_frac"],
-        [(m, fmt_rate(bw, "B/s"), f"{lf:.2f}") for m, bw, lf in results],
+        [(r["mode"], fmt_rate(r["aggregate_bw_bytes_per_s"], "B/s"),
+          f"{r['min_local_fraction']:.2f}") for r in rows],
     )
-    by_mode = {m: bw for m, bw, _ in results}
+    assert len(rows) == len(all_valid_modes())
+    by_mode = {r["mode"]: r["aggregate_bw_bytes_per_s"] for r in rows}
     # Compute partitioning alone never changes aggregate bandwidth.
     assert by_mode["TPX/NPS1"] == pytest.approx(by_mode["SPX/NPS1"])
     assert by_mode["CPX/NPS1"] == pytest.approx(by_mode["SPX/NPS1"])

@@ -3,8 +3,9 @@
 The paper motivates UPM by the cost of software unified memory: UVM
 degrades applications by 2-3x (sometimes 14x) versus explicit
 management [14], while UPM makes the unified model competitive
-(Section 6).  This bench runs the same alternating CPU/GPU pipeline
-under all three models and regenerates that framing as numbers:
+(Section 6).  The ``uvm`` registry experiment runs the same alternating
+CPU/GPU pipeline under all three models and regenerates that framing as
+numbers:
 
 * uvm/discrete ~ 2-3x the explicit baseline,
 * prefetch hints recover part of it (Chien et al. [14]),
@@ -14,59 +15,51 @@ under all three models and regenerates that framing as numbers:
 
 import pytest
 
-from conftest import print_table
-from repro.hw.config import GiB, MiB
-from repro.uvm import (
-    UVMConfig,
-    UVMSystem,
-    run_uvm,
-    three_way_comparison,
-)
-
-
-def run_comparison():
-    return three_way_comparison(working_set_bytes=1 * GiB, iterations=10)
+from conftest import experiment_rows, print_table
+from repro.hw.config import MiB
+from repro.uvm import UVMConfig, UVMSystem
 
 
 @pytest.fixture(scope="module")
-def results():
-    return run_comparison()
+def results(experiment):
+    return {r["model"]: r for r in experiment("uvm")}
 
 
 def test_three_way_comparison(benchmark):
-    results = benchmark.pedantic(run_comparison, rounds=1, iterations=1)
-    baseline = results["explicit/discrete"]
+    rows = benchmark.pedantic(
+        lambda: experiment_rows("uvm", fresh=True), rounds=1, iterations=1
+    )
     print_table(
         "UPM vs UVM vs explicit (1 GiB working set, 10 CPU<->GPU handovers)",
         ["model", "time_ms", "vs explicit", "moved"],
         [
-            (name, f"{r.time_ms:.1f}", f"{r.relative_to(baseline):.2f}x",
-             f"{r.moved_bytes >> 20} MiB")
-            for name, r in results.items()
+            (r["model"], f"{r['time_ms']:.1f}", f"{r['vs_explicit']:.2f}x",
+             f"{r['moved_bytes'] >> 20} MiB")
+            for r in rows
         ],
     )
-    assert len(results) == 4
+    assert len(rows) == 4
 
 
 def test_uvm_pays_2_to_3x(results):
-    rel = results["uvm/discrete"].relative_to(results["explicit/discrete"])
+    rel = results["uvm/discrete"]["vs_explicit"]
     assert 2.0 <= rel <= 3.5
 
 
 def test_prefetch_hints_mitigate(results):
-    raw = results["uvm/discrete"].time_ms
-    hinted = results["uvm+prefetch/discrete"].time_ms
+    raw = results["uvm/discrete"]["time_ms"]
+    hinted = results["uvm+prefetch/discrete"]["time_ms"]
     assert hinted < raw
-    assert hinted > results["explicit/discrete"].time_ms  # still not free
+    assert hinted > results["explicit/discrete"]["time_ms"]  # still not free
 
 
 def test_upm_makes_unified_model_fastest(results):
     """The paper's conclusion, in one assertion."""
     upm = results["upm/MI300A"]
-    assert upm.moved_bytes == 0
+    assert upm["moved_bytes"] == 0
     for name, r in results.items():
         if name != "upm/MI300A":
-            assert upm.time_ms < r.time_ms, name
+            assert upm["time_ms"] < r["time_ms"], name
 
 
 def test_oversubscription_thrash(benchmark):

@@ -1,29 +1,32 @@
 """Command-line interface: regenerate any of the paper's experiments.
 
-Usage::
+Every experiment lives in the :mod:`repro.exp` registry; the CLI is a
+thin shell over the engine:
 
-    python -m repro list                 # the experiment menu
-    python -m repro fig9                 # regenerate one figure's table
-    python -m repro fig2 --quick         # reduced problem sizes
-    python -m repro apps --app hotspot   # one application comparison
-    python -m repro uvm                  # the UPM-vs-UVM extension
-    python -m repro partition            # SPX/TPX/CPX x NPS1/NPS4 sweep
-    python -m repro export --out results # CSV export of the results
-    python -m repro lint examples        # static HIP API-misuse linter
-    python -m repro analyze --quick      # hipsan sweep over the apps
+    python -m repro list                       # the experiment registry
+    python -m repro run fig2 --quick           # one experiment
+    python -m repro run --all --workers 4      # the whole paper, parallel
+    python -m repro run --all --quick --out out/   # + BENCH artifacts
+    python -m repro fig9                       # legacy alias for `run fig9`
+    python -m repro apps --app hotspot         # one application comparison
+    python -m repro export --out results       # CSV export of the results
+    python -m repro verify-bench out/BENCH_results.json
+    python -m repro lint examples              # static HIP API-misuse linter
+    python -m repro analyze --quick            # hipsan sweep over the apps
 
-Every command prints the same rows the corresponding `benchmarks/`
-module asserts against; the CLI exists for interactive exploration, the
-bench suite for verification.
+``run`` executes each grid point on a freshly built simulated node,
+caches point results on disk (``--no-cache`` / ``--refresh`` control
+this), fans points out over ``--workers`` processes, and exits non-zero
+— after printing the failed point's parameters and traceback — when any
+point raises.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, Iterable, List, Sequence
-
-from .hw.config import GiB, KiB, MiB
+import time
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 def _print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) -> None:
@@ -34,249 +37,131 @@ def _print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]) ->
         print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
 
 
-def _rate(value: float, unit: str = "B/s") -> str:
-    for scale, prefix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "K")):
-        if value >= scale:
-            return f"{value / scale:.2f} {prefix}{unit}"
-    return f"{value:.2f} {unit}"
+def _fmt_cell(value: object) -> object:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return value
 
 
 # ----------------------------------------------------------------------
-# Commands
+# Engine-backed commands
 # ----------------------------------------------------------------------
 
 
-def cmd_table1(args: argparse.Namespace) -> None:
-    """Table 1: allocator capability matrix."""
-    from .core.allocators import allocator_table
+def _make_engine(args: argparse.Namespace):
+    from .exp import Engine, ResultCache, default_cache_dir
 
-    rows = []
-    for xnack in (False, True):
-        for r in allocator_table(xnack):
-            rows.append(
-                (r["allocator"], xnack, r["gpu_access"], r["cpu_access"],
-                 r["physical_allocation"])
+    cache = None
+    if not getattr(args, "no_cache", False):
+        cache_dir = getattr(args, "cache_dir", None) or default_cache_dir()
+        cache = ResultCache(cache_dir)
+    return Engine(
+        workers=getattr(args, "workers", 1),
+        cache=cache,
+        refresh=getattr(args, "refresh", False),
+    )
+
+
+def _report_failures(results) -> int:
+    """Print every failed point's params + traceback; non-zero if any."""
+    failed = 0
+    for result in results.values():
+        for point in result.failures:
+            failed += 1
+            print(
+                f"\nFAILED point {point.point.describe()}:", file=sys.stderr
             )
-    _print_table(
-        "Table 1: memory allocators on MI300A",
-        ["allocator", "xnack", "gpu_access", "cpu_access", "physical"],
-        rows,
-    )
+            print(point.error, file=sys.stderr)
+    if failed:
+        print(f"\n{failed} point(s) failed", file=sys.stderr)
+    return 1 if failed else 0
 
 
-def cmd_fig2(args: argparse.Namespace) -> None:
-    """Fig. 2: memory latency curves."""
-    from .bench import multichase
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run experiments through the engine; write artifacts with --out."""
+    from .exp import experiment_names, write_artifacts
 
-    sizes = (
-        [1 * KiB, 1 * MiB, 128 * MiB, 512 * MiB]
-        if args.quick
-        else [1 * KiB, 32 * KiB, 1 * MiB, 32 * MiB, 128 * MiB, 256 * MiB,
-              512 * MiB, 1 * GiB, 2 * GiB, 4 * GiB]
-    )
-    allocators = (
-        ["malloc", "hipMalloc"] if args.quick else multichase.ALLOCATORS
-    )
-    samples = multichase.full_sweep(
-        sizes=sizes, allocators=allocators, memory_gib=16
-    )
-    _print_table(
-        "Fig. 2: pointer-chase latency (ns)",
-        ["allocator", "device", "size_KiB", "latency_ns"],
-        [(s.allocator, s.device, s.size_bytes >> 10, f"{s.latency_ns:.1f}")
-         for s in samples],
-    )
+    if args.all:
+        names = experiment_names()
+    elif args.experiments:
+        names = list(dict.fromkeys(args.experiments))
+    else:
+        print("run: name at least one experiment, or use --all",
+              file=sys.stderr)
+        return 2
 
+    engine = _make_engine(args)
+    started = time.perf_counter()
+    results = engine.run_many(names, quick=args.quick)
+    wall_s = time.perf_counter() - started
 
-def cmd_fig3(args: argparse.Namespace) -> None:
-    """Fig. 3: STREAM TRIAD bandwidth."""
-    from .bench import stream
-
-    gpu_allocators = (
-        ["hipMalloc", "malloc"] if args.quick else stream.STREAM_ALLOCATORS
-    )
-    rows = []
-    for allocator in gpu_allocators:
-        r = stream.gpu_triad(allocator, memory_gib=16)
-        rows.append(("gpu", r.allocator, _rate(r.bandwidth_bytes_per_s), "-"))
-    for allocator in ("hipMalloc", "malloc"):
-        r = stream.cpu_triad(allocator, memory_gib=16)
-        rows.append(
-            ("cpu", r.allocator, _rate(r.bandwidth_bytes_per_s), r.best_threads)
-        )
-    _print_table(
-        "Fig. 3: STREAM TRIAD bandwidth",
-        ["device", "allocator", "bandwidth", "best_threads"],
-        rows,
-    )
-
-
-def cmd_memcpy(args: argparse.Namespace) -> None:
-    """Section 4.3: legacy hipMemcpy bandwidth."""
-    from .bench import hipbandwidth
-
-    size = 64 * MiB if args.quick else 256 * MiB
-    rows = hipbandwidth.full_sweep(copy_bytes=size, memory_gib=4)
-    _print_table(
-        "Section 4.3: hipMemcpy bandwidth",
-        ["transfer", "sdma", "bandwidth"],
-        [(r.label, r.sdma_enabled, _rate(r.bandwidth_bytes_per_s))
-         for r in rows],
-    )
-
-
-def cmd_fig4(args: argparse.Namespace) -> None:
-    """Fig. 4: isolated atomics throughput."""
-    from .bench import histogram
-
-    rows = []
-    for dtype in ("uint64", "fp64"):
-        for elements, label in ((1, "1"), (1 << 10, "1K"), (1 << 20, "1M"),
-                                (1 << 30, "1G")):
-            for s in histogram.cpu_sweep(elements, dtype):
-                rows.append(("cpu", dtype, label, s.threads,
-                             _rate(s.updates_per_s, "upd/s")))
-            for s in histogram.gpu_sweep(elements, dtype):
-                rows.append(("gpu", dtype, label, s.threads,
-                             _rate(s.updates_per_s, "upd/s")))
-    _print_table(
-        "Fig. 4: atomics throughput",
-        ["device", "dtype", "array", "threads", "throughput"], rows,
-    )
-
-
-def cmd_fig5(args: argparse.Namespace) -> None:
-    """Fig. 5: co-running CPU+GPU atomics."""
-    from .bench import histogram
-
-    rows = []
-    for elements, label in ((1 << 10, "1K"), (1 << 20, "1M")):
-        for s in histogram.hybrid_grid(elements, "uint64"):
-            rows.append(
-                (label, s.cpu_threads, s.gpu_threads,
-                 f"{s.result.cpu_relative:.2f}",
-                 f"{s.result.gpu_relative:.2f}")
-            )
-    _print_table(
-        "Fig. 5: co-run relative performance (uint64)",
-        ["array", "cpu_threads", "gpu_threads", "cpu_rel", "gpu_rel"], rows,
-    )
-
-
-def cmd_fig6(args: argparse.Namespace) -> None:
-    """Fig. 6: allocation speed."""
-    from .bench import allocspeed
-
-    sizes = [2, 1 * KiB, 1 * MiB, 1 * GiB] if args.quick else None
-    rows = allocspeed.full_cost_sweep(sizes=sizes)
-    _print_table(
-        "Fig. 6: allocation / deallocation time (us)",
-        ["allocator", "size_B", "alloc_us", "free_us"],
-        [(s.allocator, s.size_bytes, f"{s.alloc_ns / 1e3:.3f}",
-          f"{s.free_ns / 1e3:.3f}") for s in rows],
-    )
-
-
-def cmd_fig7(args: argparse.Namespace) -> None:
-    """Fig. 7: page-fault throughput."""
-    from .bench import pagefault
-
-    rows = pagefault.full_throughput_sweep()
-    _print_table(
-        "Fig. 7: page-fault throughput",
-        ["scenario", "pages", "pages_per_s"],
-        [(s.scenario, f"{s.pages:,}", _rate(s.pages_per_s, "pages/s"))
-         for s in rows],
-    )
-
-
-def cmd_fig8(args: argparse.Namespace) -> None:
-    """Fig. 8: single-fault latency distribution."""
-    from .bench import pagefault
-
-    rows = pagefault.latency_distributions()
-    _print_table(
-        "Fig. 8: single-fault latency (us)",
-        ["fault type", "mean", "p50", "p95"],
-        [(s.scenario, f"{s.mean_us:.1f}", f"{s.p50_us:.1f}",
-          f"{s.p95_us:.1f}") for s in rows],
-    )
-
-
-def cmd_fig9(args: argparse.Namespace) -> None:
-    """Fig. 9: GPU TLB misses per allocator."""
-    from .bench import stream
-
-    size = 64 * MiB if args.quick else 256 * MiB
-    rows = stream.gpu_tlb_miss_table(array_bytes=size, memory_gib=16)
-    _print_table(
-        "Fig. 9: GPU TLB misses in TRIAD",
-        ["allocator", "tlb_misses", "bandwidth"],
-        [(r.allocator, f"{r.gpu_tlb_misses:,}",
-          _rate(r.bandwidth_bytes_per_s)) for r in rows],
-    )
-
-
-def cmd_fig10(args: argparse.Namespace) -> None:
-    """Fig. 10: CPU page faults in CPU STREAM."""
-    from .bench import stream
-
-    size = 64 * MiB if args.quick else 610 * MiB
-    configs = [
-        ("malloc / baseline", "malloc", False, "cpu"),
-        ("malloc / xnack", "malloc", True, "cpu"),
-        ("hipMalloc / baseline", "hipMalloc", False, "cpu"),
-        ("hipMalloc / gpu-init", "hipMalloc", False, "gpu"),
-        ("hipHostMalloc / baseline", "hipHostMalloc", False, "cpu"),
-        ("managed / xnack", "hipMallocManaged(xnack=1)", True, "cpu"),
-    ]
-    rows = []
-    for label, allocator, xnack, init in configs:
-        report = stream.cpu_fault_count(
-            allocator, xnack=xnack, init_device=init, array_bytes=size,
-            memory_gib=16,
-        )
-        rows.append((label, f"{report.page_faults:,}"))
-    _print_table(
-        "Fig. 10: CPU page faults in CPU STREAM", ["config", "faults"], rows
-    )
-
-
-def cmd_apps(args: argparse.Namespace) -> None:
-    """Fig. 11: application comparisons."""
-    from .apps import ALL_APPS
-
-    names = [args.app] if args.app else sorted(ALL_APPS)
-    rows = []
     for name in names:
-        if name not in ALL_APPS:
-            raise SystemExit(
-                f"unknown app {name!r}; choose from {sorted(ALL_APPS)}"
-            )
-        app = ALL_APPS[name]()
-        params = None
-        if args.quick:
-            params = {
-                "backprop": {"input_units": 1 << 17},
-                "dwt2d": {"dim": 2048},
-                "heartwall": {"frame_dim": 512, "frames": 10},
-                "hotspot": {"grid": 512, "iterations": 20},
-                "nn": {"records": 1 << 20},
-                "srad_v1": {"dim": 512, "iterations": 10},
-            }[name]
-        for variant, comparison in app.compare_variants(params=params).items():
-            rows.append(
-                (name, variant, f"{comparison.total_time_ratio:.2f}",
-                 f"{comparison.compute_time_ratio:.2f}",
-                 f"{comparison.memory_ratio:.2f}")
-            )
-    _print_table(
-        "Fig. 11: unified / explicit ratios",
-        ["app", "variant", "total", "compute", "memory"], rows,
+        result = results[name]
+        _print_table(
+            f"{result.spec.title} ({result.spec.source})",
+            result.columns,
+            [[_fmt_cell(v) for v in row] for row in result.rows],
+        )
+    print(
+        f"\n{len(names)} experiment(s), "
+        f"{engine.executed_points} point(s) executed, "
+        f"{engine.cached_points} served from cache, "
+        f"{wall_s:.2f}s wall-clock"
     )
+    if args.out:
+        bench = write_artifacts(
+            results, args.out, workers=engine.workers, wall_s=wall_s,
+            quick=args.quick,
+        )
+        print(f"wrote artifacts to {args.out}/ (bench: {bench})")
+    return _report_failures(results)
 
 
-def cmd_export(args: argparse.Namespace) -> None:
+def cmd_alias(args: argparse.Namespace) -> int:
+    """Legacy per-experiment subcommand: `repro fig9` == `repro run fig9`."""
+    engine = _make_engine(args)
+    only = {"app": args.app} if getattr(args, "app", None) else None
+    if only:
+        from .exp import get_spec
+
+        valid = dict(get_spec(args.experiment).active_grid()).get("app", ())
+        if args.app not in valid:
+            raise SystemExit(
+                f"unknown app {args.app!r}; choose from {sorted(valid)}"
+            )
+    result = engine.run(args.experiment, quick=args.quick, only=only)
+    _print_table(
+        f"{result.spec.title} ({result.spec.source})",
+        result.columns,
+        [[_fmt_cell(v) for v in row] for row in result.rows],
+    )
+    return _report_failures({args.experiment: result})
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    """Print the experiment registry (what `run --all` will execute)."""
+    from .exp import all_specs
+
+    rows = []
+    for spec in all_specs():
+        axes = ", ".join(
+            f"{axis}[{len(values)}]" for axis, values in spec.active_grid()
+        ) or "-"
+        rows.append((
+            spec.name, spec.source, spec.point_count(),
+            spec.point_count(quick=True), axes, spec.title,
+        ))
+    _print_table(
+        "Registered experiments",
+        ["experiment", "source", "points", "quick", "grid", "title"],
+        rows,
+    )
+    print("\nAlso available: export, lint, analyze, verify-bench; "
+          "'repro run --all' executes every experiment above.")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
     """Export experiment results as CSV (to --out, default ./results)."""
     from .report import export_all
 
@@ -285,65 +170,25 @@ def cmd_export(args: argparse.Namespace) -> None:
     print(f"wrote {len(paths)} CSV files to {out_dir}/:")
     for path in paths:
         print(f"  {path}")
+    return 0
 
 
-def cmd_uvm(args: argparse.Namespace) -> None:
-    """Extension: UPM vs UVM vs explicit."""
-    from .uvm import three_way_comparison
+def cmd_verify_bench(args: argparse.Namespace) -> int:
+    """Validate a BENCH_results.json artifact against the registry."""
+    from .exp import verify_bench
 
-    size = 256 * MiB if args.quick else 1 * GiB
-    results = three_way_comparison(working_set_bytes=size, iterations=10)
-    baseline = results["explicit/discrete"]
-    _print_table(
-        "UPM vs UVM vs explicit",
-        ["model", "time_ms", "vs explicit", "moved_MiB"],
-        [(name, f"{r.time_ms:.1f}", f"{r.relative_to(baseline):.2f}x",
-          r.moved_bytes >> 20) for name, r in results.items()],
-    )
+    problems = verify_bench(args.path)
+    if problems:
+        for problem in problems:
+            print(f"BENCH: {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: ok")
+    return 0
 
 
-def cmd_partition(args: argparse.Namespace) -> None:
-    """Partitioning: logical devices and bandwidth per mode."""
-    from .partition import (
-        all_valid_modes,
-        device_stream_bandwidth,
-        kernel_launch_factor,
-    )
-    from .runtime.hip import make_runtime
-
-    memory_gib = 2 if args.quick else 4
-    array_bytes = (16 if args.quick else 64) * MiB
-    rows = []
-    for mode in all_valid_modes():
-        hip = make_runtime(memory_gib, partition=mode)
-        apu = hip.apu
-        aggregate = 0.0
-        local_fractions = []
-        for device in apu.logical_devices:
-            hip.hipSetDevice(device.index)
-            buf = hip.hipMalloc(array_bytes)
-            frames = buf.vma.resident_frames()
-            local = apu.placement.local_fraction(frames, device.index)
-            local_fractions.append(local)
-            aggregate += device_stream_bandwidth(
-                apu.config, device, apu.buffer_traits(buf), local
-            )
-            hip.hipFree(buf)
-        first = apu.logical_devices[0]
-        rows.append(
-            (mode.describe(), len(apu.logical_devices), first.compute_units,
-             f"{first.memory_capacity_bytes / GiB:.2f}",
-             f"{first.ic_reach_bytes / MiB:.1f}",
-             f"{min(local_fractions):.2f}",
-             _rate(aggregate),
-             f"{kernel_launch_factor(apu.config, mode):.2f}")
-        )
-    _print_table(
-        "Partition modes (per logical device, aggregate STREAM)",
-        ["mode", "devices", "CUs/dev", "GiB/dev", "IC_MiB/dev",
-         "local_frac", "aggregate_bw", "launch_factor"],
-        rows,
-    )
+# ----------------------------------------------------------------------
+# Analysis commands (unchanged semantics)
+# ----------------------------------------------------------------------
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -384,26 +229,37 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 1 if failed else 0
 
 
-COMMANDS: Dict[str, Callable[[argparse.Namespace], None]] = {
-    "table1": cmd_table1,
-    "fig2": cmd_fig2,
-    "fig3": cmd_fig3,
-    "memcpy": cmd_memcpy,
-    "fig4": cmd_fig4,
-    "fig5": cmd_fig5,
-    "fig6": cmd_fig6,
-    "fig7": cmd_fig7,
-    "fig8": cmd_fig8,
-    "fig9": cmd_fig9,
-    "fig10": cmd_fig10,
-    "apps": cmd_apps,
-    "fig11": cmd_apps,
-    "uvm": cmd_uvm,
-    "partition": cmd_partition,
-    "export": cmd_export,
-    "lint": cmd_lint,
-    "analyze": cmd_analyze,
-}
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+def _alias_names() -> List[str]:
+    from .exp import experiment_names
+
+    names = experiment_names()
+    names.append("fig11")  # alias of apps, kept for familiarity
+    return names
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced problem sizes for a fast look",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro/exp)",
+    )
+    parser.add_argument(
+        "--refresh", action="store_true",
+        help="recompute every point, overwriting cache entries",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -413,64 +269,95 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate experiments from the MI300A UPM paper "
         "on the simulator.",
     )
-    parser.add_argument(
-        "experiment",
-        help="experiment to regenerate, or 'list' for the menu",
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser(
+        "run", help="run experiments through the unified engine"
     )
-    parser.add_argument(
-        "--quick", action="store_true",
-        help="reduced problem sizes for a fast look",
+    run.add_argument(
+        "experiments", nargs="*",
+        help="experiment names (see 'repro list')",
     )
-    parser.add_argument(
-        "--app", default=None,
-        help="(apps/fig11 only) run a single application",
+    run.add_argument(
+        "--all", action="store_true", help="run every registered experiment"
     )
-    parser.add_argument(
+    run.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for point execution (default 1)",
+    )
+    run.add_argument(
         "--out", default=None,
-        help="(export only) output directory for CSV files",
+        help="write per-experiment JSON + BENCH_results.json here",
     )
-    parser.add_argument(
-        "paths", nargs="*",
-        help="(lint only) files or directories to lint",
+    _add_engine_options(run)
+    run.set_defaults(func=cmd_run)
+
+    lst = sub.add_parser("list", help="print the experiment registry")
+    lst.set_defaults(func=cmd_list)
+
+    export = sub.add_parser("export", help="CSV export of the results")
+    export.add_argument("--out", default=None, help="output directory")
+    export.add_argument("--quick", action="store_true",
+                        help="reduced problem sizes")
+    export.set_defaults(func=cmd_export)
+
+    verify = sub.add_parser(
+        "verify-bench", help="validate a BENCH_results.json artifact"
     )
-    parser.add_argument(
-        "--exclude", action="append", default=None,
-        help="(lint only) path suffix to skip; repeatable",
+    verify.add_argument("path", help="path to BENCH_results.json")
+    verify.set_defaults(func=cmd_verify_bench)
+
+    lint = sub.add_parser("lint", help="static HIP API-misuse linter")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint")
+    lint.add_argument("--exclude", action="append", default=None,
+                      help="path suffix to skip; repeatable")
+    lint.add_argument("--json", action="store_true",
+                      help="emit findings as JSON")
+    lint.set_defaults(func=cmd_lint)
+
+    analyze = sub.add_parser(
+        "analyze", help="hipsan happens-before sanitizer over the apps"
     )
-    parser.add_argument(
-        "--json", action="store_true",
-        help="(lint only) emit findings as JSON",
-    )
+    analyze.add_argument("--app", default=None,
+                         help="analyze a single application")
+    analyze.add_argument("--quick", action="store_true",
+                         help="reduced problem sizes")
+    analyze.set_defaults(func=cmd_analyze)
+
+    for name in _alias_names():
+        experiment = "apps" if name == "fig11" else name
+        alias = sub.add_parser(
+            name, help=f"alias for 'run {experiment}'"
+        )
+        alias.set_defaults(func=cmd_alias, experiment=experiment, workers=1)
+        _add_engine_options(alias)
+        if experiment == "apps":
+            alias.add_argument(
+                "--app", default=None, help="run a single application"
+            )
     return parser
 
 
 def list_experiments() -> List[str]:
-    """The menu rows: command name + docstring summary."""
-    rows = []
-    for name, fn in COMMANDS.items():
-        if name == "fig11":
-            continue  # alias of apps
-        doc = (fn.__doc__ or "").strip().splitlines()[0]
-        rows.append(f"  {name:10s} {doc}")
-    return rows
+    """The registry menu rows (name + title), exposed for tests."""
+    from .exp import all_specs
+
+    return [f"  {spec.name:10s} {spec.title}" for spec in all_specs()]
 
 
-def main(argv: Sequence[str] | None = None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
-    # intermixed: "lint --json examples" has flags between positionals
-    args = parser.parse_intermixed_args(argv)
-    if args.experiment == "list":
-        print("Available experiments:")
-        for row in list_experiments():
-            print(row)
-        return 0
-    command = COMMANDS.get(args.experiment)
-    if command is None:
-        print(f"unknown experiment {args.experiment!r}; try 'list'",
+    args = parser.parse_args(argv)
+    from .exp import UnknownExperimentError
+
+    try:
+        return args.func(args) or 0
+    except UnknownExperimentError as exc:
+        print(f"unknown experiment {exc.experiment!r}; try 'repro list'",
               file=sys.stderr)
         return 2
-    return command(args) or 0
 
 
 if __name__ == "__main__":  # pragma: no cover

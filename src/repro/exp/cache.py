@@ -1,0 +1,115 @@
+"""On-disk result cache for experiment points.
+
+Every point result is stored as one JSON file keyed by
+
+    sha256(code_version + spec_hash + canonical(params))
+
+so a re-run (or a resumed sweep) recomputes nothing that is already on
+disk, and any change to the code, the spec, or the point parameters
+misses cleanly.  Payloads are JSON-normalised before first use, so a
+warm hit is bit-identical to the cold computation.
+
+The default location is ``$REPRO_CACHE_DIR`` or ``~/.cache/repro/exp``;
+``repro run --no-cache`` bypasses it and ``--refresh`` overwrites it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from .spec import canonical_json
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Version string for cache keys and artifact provenance.
+
+    The git commit SHA when running from a checkout, else the package
+    version.  ``$REPRO_CODE_VERSION`` overrides both (hermetic tests,
+    builds without git metadata).
+    """
+    global _CODE_VERSION
+    override = os.environ.get("REPRO_CODE_VERSION")
+    if override:
+        return override
+    if _CODE_VERSION is None:
+        _CODE_VERSION = _detect_code_version()
+    return _CODE_VERSION
+
+
+def _detect_code_version() -> str:
+    here = Path(__file__).resolve()
+    try:
+        sha = subprocess.run(
+            ["git", "-C", str(here.parent), "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+        )
+        if sha.returncode == 0 and sha.stdout.strip():
+            return sha.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    try:
+        from importlib.metadata import version
+
+        return f"repro-{version('repro')}"
+    except Exception:
+        return "repro-unknown"
+
+
+def default_cache_dir() -> Path:
+    """The cache root honoured by the CLI and the engine default."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "exp"
+
+
+class ResultCache:
+    """Content-addressed JSON store for point results."""
+
+    def __init__(self, root: Path | str):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key(version: str, spec_hash: str, params: Dict[str, Any]) -> str:
+        """Cache key for one point of one spec at one code version."""
+        blob = canonical_json(
+            {"code": version, "spec": spec_hash, "params": params}
+        )
+        return hashlib.sha256(blob.encode()).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored payload, or None on a miss (or a corrupt entry)."""
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Dict[str, Any]) -> Path:
+        """Store *payload* under *key*; atomic via rename."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(path)
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()

@@ -1,0 +1,422 @@
+"""Experiment execution engine.
+
+The engine owns the loop every per-figure driver used to hand-roll:
+expand a spec's grid into points, skip points already in the result
+cache, execute the rest — in-process for ``workers <= 1``, through a
+``ProcessPoolExecutor`` otherwise (every point builds its own simulated
+node, so sweeps parallelise trivially) — and assemble per-experiment
+results plus the top-level ``BENCH_results.json`` perf trajectory.
+
+Failures never abort a sweep: a raising point is captured with its
+parameters and traceback in :attr:`PointResult.error`, surfaced through
+:attr:`ExperimentResult.failures`, and turned into a non-zero exit
+status by the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .cache import ResultCache, code_version
+from .registry import get_spec
+from .spec import ExperimentSpec, Point
+
+#: Version of the artifact schema (per-experiment JSON and
+#: BENCH_results.json).  Bump on any incompatible layout change.
+SCHEMA_VERSION = "1"
+
+#: Name of the top-level perf-trajectory artifact.
+BENCH_FILENAME = "BENCH_results.json"
+
+
+def utc_timestamp() -> str:
+    """Provenance timestamp (ISO 8601, UTC)."""
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _normalize_payload(raw: Any) -> Dict[str, Any]:
+    """Coerce a runner's return value into the canonical payload.
+
+    The payload is round-tripped through JSON immediately so a cold
+    result is bit-identical to the same result served warm from disk.
+    """
+    if isinstance(raw, Mapping):
+        rows = raw.get("rows", [])
+        sim_time_ns = float(raw.get("sim_time_ns", 0.0))
+    else:
+        rows, sim_time_ns = raw, 0.0
+    payload = {"rows": rows, "sim_time_ns": sim_time_ns}
+    return json.loads(json.dumps(payload))
+
+
+def execute_point(name: str, params: Dict[str, Any]) -> Tuple[
+    Dict[str, Any], float
+]:
+    """Run one point in the current process (also the pool entry point).
+
+    Returns ``(payload, wall_seconds)``; a raising runner yields an
+    ``{"error": traceback}`` payload so failures survive the trip back
+    from a worker process.
+    """
+    start = time.perf_counter()
+    try:
+        spec = get_spec(name)
+        payload = _normalize_payload(spec.runner(**params))
+    except BaseException:  # noqa: BLE001 — the traceback is the product
+        payload = {"error": traceback.format_exc()}
+    return payload, time.perf_counter() - start
+
+
+@dataclass
+class PointResult:
+    """Outcome of one executed (or cache-served) point."""
+
+    point: Point
+    rows: List[List[Any]] = field(default_factory=list)
+    sim_time_ns: float = 0.0
+    wall_s: float = 0.0
+    cached: bool = False
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+@dataclass
+class ExperimentResult:
+    """One experiment's assembled sweep result."""
+
+    spec: ExperimentSpec
+    quick: bool
+    points: List[PointResult] = field(default_factory=list)
+    wall_s: float = 0.0
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def columns(self) -> List[str]:
+        return list(self.spec.columns)
+
+    @property
+    def rows(self) -> List[List[Any]]:
+        """All result rows, in point order (failed points contribute none)."""
+        out: List[List[Any]] = []
+        for p in self.points:
+            out.extend(p.rows)
+        return out
+
+    def dicts(self) -> List[Dict[str, Any]]:
+        """Rows as column-keyed dicts (the benchmark-fixture view)."""
+        columns = self.spec.columns
+        return [dict(zip(columns, row)) for row in self.rows]
+
+    @property
+    def failures(self) -> List[PointResult]:
+        return [p for p in self.points if not p.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def cached_points(self) -> int:
+        return sum(1 for p in self.points if p.cached)
+
+    @property
+    def sim_time_ns(self) -> float:
+        return sum(p.sim_time_ns for p in self.points)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """The per-experiment JSON artifact."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "experiment": self.spec.name,
+            "title": self.spec.title,
+            "source": self.spec.source,
+            "git_sha": code_version(),
+            "timestamp": utc_timestamp(),
+            "quick": self.quick,
+            "spec_hash": self.spec.spec_hash(),
+            "columns": self.columns,
+            "rows": self.rows,
+            "points": len(self.points),
+            "cached_points": self.cached_points,
+            "failed_points": len(self.failures),
+            "failures": [
+                {"params": p.point.params, "traceback": p.error}
+                for p in self.failures
+            ],
+            "wall_s": round(self.wall_s, 6),
+            "sim_time_s": self.sim_time_ns / 1e9,
+        }
+
+
+class Engine:
+    """Runs registered experiments: grid -> cache -> pool -> results.
+
+    Parameters
+    ----------
+    workers:
+        ``<= 1`` runs points in-process (deterministic, debuggable);
+        ``N > 1`` fans points out over N worker processes.
+    cache:
+        Optional :class:`ResultCache`; None disables caching entirely.
+    refresh:
+        Recompute every point and overwrite cache entries.
+    version:
+        Code-version string for cache keys (defaults to the git SHA).
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: Optional[ResultCache] = None,
+        refresh: bool = False,
+        version: Optional[str] = None,
+    ):
+        self.workers = max(1, int(workers))
+        self.cache = cache
+        self.refresh = refresh
+        self.version = version or code_version()
+        #: points actually computed (cache misses) across this engine's life
+        self.executed_points = 0
+        #: points served from the cache across this engine's life
+        self.cached_points = 0
+
+    # -- public API -----------------------------------------------------
+
+    def run(
+        self,
+        name: str,
+        quick: bool = False,
+        only: Optional[Mapping[str, Any]] = None,
+    ) -> ExperimentResult:
+        """Run one experiment; *only* filters points by parameter values."""
+        return self.run_many([name], quick=quick, only=only)[name]
+
+    def run_many(
+        self,
+        names: Sequence[str],
+        quick: bool = False,
+        only: Optional[Mapping[str, Any]] = None,
+    ) -> Dict[str, ExperimentResult]:
+        """Run several experiments as one load-balanced point pool."""
+        specs = [get_spec(name) for name in names]
+        plan: List[Tuple[ExperimentSpec, Point]] = []
+        for spec in specs:
+            for point in spec.points(quick):
+                if only and any(
+                    axis in point.params and point.params[axis] != value
+                    for axis, value in only.items()
+                ):
+                    continue
+                plan.append((spec, point))
+
+        started = time.perf_counter()
+        results: Dict[Tuple[str, int], PointResult] = {}
+        pending: List[Tuple[ExperimentSpec, Point, Optional[str]]] = []
+
+        for spec, point in plan:
+            key = self._cache_key(spec, point)
+            payload = None
+            if key is not None and not self.refresh and self.cache is not None:
+                payload = self.cache.get(key)
+            if payload is not None:
+                self.cached_points += 1
+                results[(spec.name, point.index)] = self._to_point_result(
+                    point, payload, wall_s=0.0, cached=True
+                )
+            else:
+                pending.append((spec, point, key))
+
+        for (spec, point, key), (payload, wall_s) in zip(
+            pending, self._execute(pending)
+        ):
+            self.executed_points += 1
+            if key is not None and self.cache is not None and "error" not in payload:
+                self.cache.put(key, payload)
+            results[(spec.name, point.index)] = self._to_point_result(
+                point, payload, wall_s=wall_s, cached=False
+            )
+
+        total_wall = time.perf_counter() - started
+        out: Dict[str, ExperimentResult] = {}
+        for spec in specs:
+            point_results = [
+                results[key]
+                for key in sorted(results)
+                if key[0] == spec.name
+            ]
+            wall = sum(p.wall_s for p in point_results)
+            out[spec.name] = ExperimentResult(
+                spec=spec, quick=quick, points=point_results, wall_s=wall
+            )
+        # Distribute unattributed wall time (pool scheduling) nowhere;
+        # run_many callers that need the true elapsed time measure it
+        # around this call.  Kept simple on purpose.
+        del total_wall
+        return out
+
+    # -- internals ------------------------------------------------------
+
+    def _cache_key(self, spec: ExperimentSpec, point: Point) -> Optional[str]:
+        if self.cache is None:
+            return None
+        return ResultCache.key(self.version, spec.spec_hash(), point.params)
+
+    @staticmethod
+    def _to_point_result(
+        point: Point, payload: Dict[str, Any], wall_s: float, cached: bool
+    ) -> PointResult:
+        if "error" in payload:
+            return PointResult(
+                point=point, wall_s=wall_s, cached=cached,
+                error=payload["error"],
+            )
+        return PointResult(
+            point=point,
+            rows=payload.get("rows", []),
+            sim_time_ns=float(payload.get("sim_time_ns", 0.0)),
+            wall_s=wall_s,
+            cached=cached,
+        )
+
+    def _execute(
+        self, pending: Sequence[Tuple[ExperimentSpec, Point, Optional[str]]]
+    ) -> Iterable[Tuple[Dict[str, Any], float]]:
+        if not pending:
+            return []
+        if self.workers <= 1 or len(pending) == 1:
+            return [
+                execute_point(spec.name, point.params)
+                for spec, point, _ in pending
+            ]
+        context = _pool_context()
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)), mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(execute_point, spec.name, point.params)
+                for spec, point, _ in pending
+            ]
+            return [future.result() for future in futures]
+
+
+def _pool_context():
+    """Prefer fork on POSIX: workers inherit the loaded registry and the
+    imported simulator for free; fall back to the platform default."""
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return None
+
+
+# ----------------------------------------------------------------------
+# Artifacts
+# ----------------------------------------------------------------------
+
+
+def bench_payload(
+    results: Mapping[str, ExperimentResult],
+    workers: int,
+    wall_s: float,
+    quick: bool,
+) -> Dict[str, Any]:
+    """Assemble the ``BENCH_results.json`` perf-trajectory payload."""
+    experiments = {}
+    for name, result in results.items():
+        experiments[name] = {
+            "title": result.spec.title,
+            "source": result.spec.source,
+            "points": len(result.points),
+            "cached_points": result.cached_points,
+            "failed_points": len(result.failures),
+            "rows": len(result.rows),
+            "wall_s": round(result.wall_s, 6),
+            "sim_time_s": result.sim_time_ns / 1e9,
+            "ok": result.ok,
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": "repro-bench",
+        "git_sha": code_version(),
+        "timestamp": utc_timestamp(),
+        "quick": quick,
+        "workers": workers,
+        "wall_s": round(wall_s, 6),
+        "experiments": experiments,
+    }
+
+
+def write_artifacts(
+    results: Mapping[str, ExperimentResult],
+    out_dir: Path | str,
+    workers: int = 1,
+    wall_s: float = 0.0,
+    quick: bool = False,
+) -> Path:
+    """Write per-experiment JSON files plus ``BENCH_results.json``.
+
+    Returns the path of the top-level BENCH artifact.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    for name, result in results.items():
+        (out / f"{name}.json").write_text(
+            json.dumps(result.to_payload(), indent=2)
+        )
+    bench = out / BENCH_FILENAME
+    bench.write_text(
+        json.dumps(bench_payload(results, workers, wall_s, quick), indent=2)
+    )
+    return bench
+
+
+def verify_bench(
+    payload: Mapping[str, Any] | Path | str,
+    expected: Optional[Iterable[str]] = None,
+) -> List[str]:
+    """Validate a BENCH payload (or file); returns a list of problems.
+
+    Checks the schema version, provenance fields, that every expected
+    experiment (default: the full registry) is present, and that none
+    failed.  An empty return value means the artifact is sound.
+    """
+    from .registry import experiment_names
+
+    if not isinstance(payload, Mapping):
+        try:
+            payload = json.loads(Path(payload).read_text())
+        except (OSError, ValueError) as exc:
+            return [f"unreadable BENCH file: {exc}"]
+    problems = []
+    if payload.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {payload.get('schema_version')!r} != "
+            f"{SCHEMA_VERSION!r}"
+        )
+    for fld in ("git_sha", "timestamp"):
+        if not payload.get(fld):
+            problems.append(f"missing provenance field {fld!r}")
+    experiments = payload.get("experiments")
+    if not isinstance(experiments, Mapping):
+        problems.append("missing experiments section")
+        return problems
+    names = list(expected) if expected is not None else experiment_names()
+    for name in names:
+        if name not in experiments:
+            problems.append(f"experiment {name!r} missing from BENCH output")
+        elif not experiments[name].get("ok", False):
+            problems.append(f"experiment {name!r} recorded a failure")
+    return problems

@@ -4,15 +4,17 @@ The benchmark harness prints the paper's rows for humans; this module
 renders the same results as structured records so downstream tooling
 (plotting scripts, regression dashboards) can consume them:
 
-    from repro.report import ExperimentReport, collect_fig9
+    from repro.report import collect
 
-    report = collect_fig9(quick=True)
+    report = collect("fig9", quick=True)
     report.to_csv("fig9.csv")
     report.to_json("fig9.json")
 
-Every collector returns an :class:`ExperimentReport` — an experiment id,
-column names, and rows — and `collect_all` gathers the cheap
-model-backed experiments in one call.
+Collection is a thin veneer over the :mod:`repro.exp` registry — every
+collector resolves its experiment there and runs it through the engine,
+so the CSV export, the CLI tables, and the benchmark assertions all see
+the same rows.  Exported JSON carries provenance (schema version, git
+SHA, ISO timestamp) so result files are comparable across revisions.
 """
 
 from __future__ import annotations
@@ -21,9 +23,10 @@ import csv
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional
 
-from .hw.config import GiB, KiB, MiB
+#: Schema version stamped into exported JSON (mirrors repro.exp).
+SCHEMA_VERSION = "1"
 
 
 @dataclass
@@ -34,6 +37,7 @@ class ExperimentReport:
     title: str
     columns: List[str]
     rows: List[List[object]] = field(default_factory=list)
+    source: str = ""
 
     def add(self, *values: object) -> None:
         """Append one row (must match the column count)."""
@@ -53,11 +57,22 @@ class ExperimentReport:
         return path
 
     def to_json(self, path: str | Path | None = None) -> str:
-        """Serialise to JSON (optionally writing to *path*)."""
+        """Serialise to JSON (optionally writing to *path*).
+
+        The payload includes provenance — ``schema_version``, ``git_sha``
+        and an ISO ``timestamp`` — so exported results from different
+        revisions can be compared honestly.
+        """
+        from .exp import code_version, utc_timestamp
+
         payload = json.dumps(
             {
+                "schema_version": SCHEMA_VERSION,
+                "git_sha": code_version(),
+                "timestamp": utc_timestamp(),
                 "experiment": self.experiment,
                 "title": self.title,
+                "source": self.source,
                 "columns": self.columns,
                 "rows": self.rows,
             },
@@ -77,120 +92,76 @@ class ExperimentReport:
 
 
 # ----------------------------------------------------------------------
-# Collectors
+# Registry-backed collection
 # ----------------------------------------------------------------------
 
 
-def collect_table1() -> ExperimentReport:
-    """Table 1: allocator capability matrix."""
-    from .core.allocators import allocator_table
+def collect(name: str, quick: bool = False, engine=None) -> ExperimentReport:
+    """Run one registered experiment and wrap its rows as a report.
 
+    A caller-supplied *engine* (e.g. one holding a shared cache) is
+    reused; otherwise a serial, uncached engine is built on the spot.
+    A failed point raises, carrying its parameters and traceback —
+    collectors never return partial tables silently.
+    """
+    from .exp import Engine
+
+    engine = engine or Engine(workers=1, cache=None)
+    result = engine.run(name, quick=quick)
+    if not result.ok:
+        failure = result.failures[0]
+        raise RuntimeError(
+            f"experiment {name!r} failed at point "
+            f"{failure.point.describe()}:\n{failure.error}"
+        )
     report = ExperimentReport(
-        "table1", "Memory allocators on MI300A",
-        ["allocator", "xnack", "gpu_access", "cpu_access", "physical"],
+        experiment=result.spec.name,
+        title=result.spec.title,
+        columns=result.columns,
+        source=result.spec.source,
     )
-    for xnack in (False, True):
-        for row in allocator_table(xnack):
-            report.add(row["allocator"], xnack, row["gpu_access"],
-                       row["cpu_access"], row["physical_allocation"])
+    report.rows.extend(result.rows)
     return report
+
+
+def collect_table1(quick: bool = False) -> ExperimentReport:
+    """Table 1: allocator capability matrix."""
+    return collect("table1", quick)
 
 
 def collect_fig2(quick: bool = False) -> ExperimentReport:
     """Fig. 2: latency curves."""
-    from .bench import multichase
-
-    sizes = [1 * KiB, 1 * MiB, 256 * MiB] if quick else None
-    allocators = ["malloc", "hipMalloc"] if quick else None
-    report = ExperimentReport(
-        "fig2", "Pointer-chase latency",
-        ["allocator", "device", "size_bytes", "latency_ns"],
-    )
-    for s in multichase.full_sweep(sizes=sizes, allocators=allocators,
-                                   memory_gib=16):
-        report.add(s.allocator, s.device, s.size_bytes, round(s.latency_ns, 2))
-    return report
-
-
-def collect_fig6() -> ExperimentReport:
-    """Fig. 6: allocation speed."""
-    from .bench import allocspeed
-
-    report = ExperimentReport(
-        "fig6", "Allocation / deallocation time",
-        ["allocator", "size_bytes", "alloc_ns", "free_ns"],
-    )
-    for s in allocspeed.full_cost_sweep():
-        report.add(s.allocator, s.size_bytes, round(s.alloc_ns, 1),
-                   round(s.free_ns, 1))
-    return report
-
-
-def collect_fig7() -> ExperimentReport:
-    """Fig. 7: page-fault throughput."""
-    from .bench import pagefault
-
-    report = ExperimentReport(
-        "fig7", "Page-fault throughput",
-        ["scenario", "pages", "pages_per_s"],
-    )
-    for s in pagefault.full_throughput_sweep():
-        report.add(s.scenario, s.pages, round(s.pages_per_s, 1))
-    return report
-
-
-def collect_fig8() -> ExperimentReport:
-    """Fig. 8: single-fault latency."""
-    from .bench import pagefault
-
-    report = ExperimentReport(
-        "fig8", "Single-fault latency",
-        ["fault_type", "mean_us", "p50_us", "p95_us"],
-    )
-    for s in pagefault.latency_distributions():
-        report.add(s.scenario, round(s.mean_us, 2), round(s.p50_us, 2),
-                   round(s.p95_us, 2))
-    return report
+    return collect("fig2", quick)
 
 
 def collect_fig4(quick: bool = False) -> ExperimentReport:
     """Fig. 4: isolated atomics."""
-    from .bench import histogram
-
-    sizes = [1 << 10, 1 << 20] if quick else histogram.ARRAY_SIZES
-    report = ExperimentReport(
-        "fig4", "Atomics throughput",
-        ["device", "dtype", "elements", "threads", "updates_per_s"],
-    )
-    for dtype in ("uint64", "fp64"):
-        for elements in sizes:
-            for s in histogram.cpu_sweep(elements, dtype):
-                report.add("cpu", dtype, elements, s.threads,
-                           round(s.updates_per_s, 1))
-            for s in histogram.gpu_sweep(elements, dtype):
-                report.add("gpu", dtype, elements, s.threads,
-                           round(s.updates_per_s, 1))
-    return report
+    return collect("fig4", quick)
 
 
-def collect_uvm(quick: bool = False) -> ExperimentReport:
+def collect_fig6(quick: bool = False) -> ExperimentReport:
+    """Fig. 6: allocation speed."""
+    return collect("fig6", quick)
+
+
+def collect_fig7(quick: bool = False) -> ExperimentReport:
+    """Fig. 7: page-fault throughput."""
+    return collect("fig7", quick)
+
+
+def collect_fig8(quick: bool = False) -> ExperimentReport:
+    """Fig. 8: single-fault latency."""
+    return collect("fig8", quick)
+
+
+def collect_uvm(quick: bool = True) -> ExperimentReport:
     """Extension: UPM vs UVM vs explicit."""
-    from .uvm import three_way_comparison
-
-    size = 256 * MiB if quick else 1 * GiB
-    results = three_way_comparison(working_set_bytes=size, iterations=10)
-    baseline = results["explicit/discrete"]
-    report = ExperimentReport(
-        "uvm", "UPM vs UVM vs explicit",
-        ["model", "time_ms", "vs_explicit", "moved_bytes"],
-    )
-    for name, r in results.items():
-        report.add(name, round(r.time_ms, 2),
-                   round(r.relative_to(baseline), 3), r.moved_bytes)
-    return report
+    return collect("uvm", quick)
 
 
-#: All cheap collectors keyed by experiment id.
+#: The cheap model-backed collectors exported by default, keyed by
+#: experiment id (a subset of the full repro.exp registry — the heavier
+#: sweeps are reachable via `collect(name)` or `repro run`).
 COLLECTORS = {
     "table1": collect_table1,
     "fig4": collect_fig4,
@@ -201,22 +172,30 @@ COLLECTORS = {
 }
 
 
-def collect_all(quick: bool = True) -> Dict[str, ExperimentReport]:
-    """Run every cheap collector; returns reports keyed by experiment."""
-    out = {}
-    for name, collector in COLLECTORS.items():
-        try:
-            out[name] = collector(quick)  # type: ignore[call-arg]
-        except TypeError:
-            out[name] = collector()  # collectors without a quick knob
-    return out
+def collect_all(
+    quick: bool = True, experiments: Optional[List[str]] = None
+) -> Dict[str, ExperimentReport]:
+    """Collect several experiments (default: the cheap set) in one call.
+
+    A shared serial engine runs them all, so a caller-wide cache (when
+    the engine default grows one) would be reused across experiments.
+    """
+    from .exp import Engine
+
+    engine = Engine(workers=1, cache=None)
+    names = experiments if experiments is not None else list(COLLECTORS)
+    return {name: collect(name, quick, engine=engine) for name in names}
 
 
-def export_all(directory: str | Path, quick: bool = True) -> List[Path]:
-    """Export every cheap experiment as CSV into *directory*."""
+def export_all(
+    directory: str | Path,
+    quick: bool = True,
+    experiments: Optional[List[str]] = None,
+) -> List[Path]:
+    """Export experiments (default: the cheap set) as CSV files."""
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     paths = []
-    for name, report in collect_all(quick).items():
+    for name, report in collect_all(quick, experiments).items():
         paths.append(report.to_csv(directory / f"{name}.csv"))
     return paths

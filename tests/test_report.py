@@ -7,7 +7,9 @@ import pytest
 
 from repro.report import (
     COLLECTORS,
+    SCHEMA_VERSION,
     ExperimentReport,
+    collect,
     collect_all,
     collect_fig7,
     collect_fig8,
@@ -51,6 +53,14 @@ class TestExperimentReport:
         assert payload["rows"] == [[42]]
         assert json.loads((tmp_path / "x.json").read_text()) == payload
 
+    def test_json_carries_provenance(self):
+        report = ExperimentReport("x", "t", ["a"])
+        payload = json.loads(report.to_json())
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert payload["git_sha"]
+        assert payload["timestamp"]  # ISO 8601
+        assert "T" in payload["timestamp"]
+
 
 class TestCollectors:
     def test_table1_rows(self):
@@ -86,3 +96,31 @@ class TestCollectors:
         for path in paths:
             assert path.exists()
             assert path.stat().st_size > 0
+
+    def test_collect_resolves_any_registered_experiment(self):
+        report = collect("partition", quick=True)
+        assert "SPX/NPS1" in report.column("mode")
+        assert report.source == "Partitioning guide"
+
+    def test_collect_unknown_experiment_raises(self):
+        from repro.exp import UnknownExperimentError
+
+        with pytest.raises(UnknownExperimentError):
+            collect("fig99")
+
+    def test_collect_surfaces_point_failure_with_params(self):
+        from repro.exp import ExperimentSpec, temporarily_registered
+
+        spec = ExperimentSpec.define(
+            name="flaky-report", title="f", columns=["k", "v"],
+            runner=_boom_runner, grid={"value": [2]},
+        )
+        with temporarily_registered(spec):
+            with pytest.raises(RuntimeError) as excinfo:
+                collect("flaky-report")
+        assert "value=2" in str(excinfo.value)
+        assert "boom on 2" in str(excinfo.value)
+
+
+def _boom_runner(value):
+    raise ValueError("boom on 2")
