@@ -1,6 +1,6 @@
-"""Correctness tooling for the simulated HIP runtime.
+"""Correctness and performance tooling for the simulated HIP runtime.
 
-Two cooperating passes over programs written against
+Three cooperating passes over programs written against
 :mod:`repro.runtime`:
 
 * **hipsan**, a dynamic happens-before sanitizer
@@ -16,18 +16,46 @@ Two cooperating passes over programs written against
   leaked allocations, free-before-sync, mixed explicit/managed usage
   and deprecated/unknown API names without running anything.
 
-Both report :class:`~repro.analyze.findings.Finding` records rendered
-by the shared text/JSON reporters.
+* a **static performance advisor** (:mod:`repro.analyze.advise`):
+  ``python -m repro advise <paths|--apps>`` runs a CFG + dataflow
+  analysis that prices the paper's UPM anti-patterns — redundant
+  copies, first-touch placement, predicted fault storms, TLB reach,
+  mixed allocation models, device syncs in loops — with SARIF 2.1.0
+  output and a CI baseline.
+
+All passes report :class:`~repro.analyze.findings.Finding` records
+whose severities come from the shared rule registry
+(:data:`~repro.analyze.findings.RULES`), rendered by the common
+text/JSON/SARIF reporters.
 """
 
+from .advise import (
+    advise_apps,
+    advise_file,
+    advise_paths,
+    advise_source,
+    fingerprint,
+    load_baseline,
+    new_findings,
+    port_is_clean,
+    render_sarif,
+    save_baseline,
+    to_sarif,
+    validate_sarif,
+)
 from .events import EventLog, RuntimeEvent
 from .findings import (
+    RULES,
     Finding,
+    RuleSpec,
     Severity,
+    all_rules,
     has_errors,
+    make_finding,
     max_severity,
     render_json,
     render_text,
+    rule_spec,
 )
 from .hb import VectorClock, ordered_before
 from .linter import lint_file, lint_paths, lint_source
@@ -44,20 +72,37 @@ __all__ = [
     "EventLog",
     "Finding",
     "GPU_FAULT_STORM_PAGES",
+    "RULES",
+    "RuleSpec",
     "RuntimeEvent",
     "SMALL_PARAMS",
     "Sanitizer",
     "Severity",
     "VectorClock",
+    "advise_apps",
+    "advise_file",
+    "advise_paths",
+    "advise_source",
+    "all_rules",
     "analyze_app",
     "analyze_log",
     "analyze_runtime",
+    "fingerprint",
     "has_errors",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "make_finding",
     "max_severity",
+    "new_findings",
     "ordered_before",
+    "port_is_clean",
     "render_json",
+    "render_sarif",
     "render_text",
+    "rule_spec",
+    "save_baseline",
+    "to_sarif",
+    "validate_sarif",
 ]

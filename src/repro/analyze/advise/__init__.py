@@ -1,0 +1,133 @@
+"""``repro.advise`` — static UPM performance advisor.
+
+A CFG + dataflow analysis over the simulator's Python/HIP-API surface
+that finds the *performance* anti-patterns the paper measures — the
+ones :mod:`repro.analyze.linter`'s flat AST walk cannot see because
+they depend on what reaches a program point, on which path, and in
+what allocation state:
+
+* :mod:`.cfg` — per-function control-flow graphs (branches, loops,
+  try/finally, with) with dominators and loop regions;
+* :mod:`.values` — the points-to lattice for buffer handles
+  (allocator-family origins, symbolic sizes, symbolic parameters);
+* :mod:`.dataflow` — the worklist fixpoint and event emission;
+* :mod:`.summaries` — bottom-up interprocedural summaries, so a
+  finding survives ``apps/common.py``-style helper refactors;
+* :mod:`.checks` — the six paper-grounded checks;
+* :mod:`.sarif` / :mod:`.baseline` — SARIF 2.1.0 output and the CI
+  suppression baseline.
+
+``advise_apps`` analyzes the six Rodinia ports and buckets findings by
+port model (explicit vs managed) using each app class's
+``advise_ports`` map, which is how the golden tests assert "explicit
+ports flag their copies, managed ports advise clean".
+"""
+
+from __future__ import annotations
+
+import inspect
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from ...hw.config import MI300AConfig
+from ..findings import Finding, Severity
+from ..linter import _excluded
+from .baseline import (
+    fingerprint,
+    load_baseline,
+    new_findings,
+    save_baseline,
+)
+from .checks import run_checks
+from .sarif import render_sarif, to_sarif, validate_sarif
+from .summaries import ModuleAnalysis, analyze_module
+
+__all__ = [
+    "ModuleAnalysis",
+    "advise_apps",
+    "advise_file",
+    "advise_paths",
+    "advise_source",
+    "analyze_module",
+    "fingerprint",
+    "load_baseline",
+    "new_findings",
+    "port_is_clean",
+    "render_sarif",
+    "run_checks",
+    "save_baseline",
+    "to_sarif",
+    "validate_sarif",
+]
+
+
+def advise_source(
+    source: str,
+    file: str = "<string>",
+    config: Optional[MI300AConfig] = None,
+) -> List[Finding]:
+    """Advise one source string."""
+    return run_checks(analyze_module(source, file), config)
+
+
+def advise_file(
+    path: Union[Path, str], config: Optional[MI300AConfig] = None
+) -> List[Finding]:
+    """Advise one file."""
+    path = Path(path)
+    return advise_source(path.read_text(), str(path), config)
+
+
+def advise_paths(
+    paths: Sequence[Union[Path, str]],
+    exclude: Iterable[str] = (),
+    config: Optional[MI300AConfig] = None,
+) -> List[Finding]:
+    """Advise every ``.py`` file under the given files/directories."""
+    findings: List[Finding] = []
+    seen = set()
+    for root in paths:
+        root = Path(root)
+        files = [root] if root.is_file() else sorted(root.rglob("*.py"))
+        for file in files:
+            if file in seen or _excluded(file, exclude):
+                continue
+            seen.add(file)
+            findings.extend(advise_file(file, config))
+    return findings
+
+
+def advise_apps(
+    config: Optional[MI300AConfig] = None,
+) -> Dict[str, Dict[str, List[Finding]]]:
+    """Advise the six Rodinia ports, bucketed by port model.
+
+    Returns ``{app_name: {"explicit": [...], "managed": [...]}}``.
+    A finding lands in a bucket when its enclosing function is one of
+    the bucket's ``advise_ports`` methods; findings in shared helpers
+    land in every bucket.
+    """
+    from ...apps import ALL_APPS
+
+    out: Dict[str, Dict[str, List[Finding]]] = {}
+    for name, app_cls in sorted(ALL_APPS.items()):
+        file = Path(inspect.getfile(app_cls))
+        try:
+            file = file.resolve().relative_to(Path.cwd().resolve())
+        except ValueError:
+            pass  # running from outside the repo: keep the absolute path
+        findings = advise_file(file, config)
+        ports: Dict[str, tuple] = dict(app_cls.advise_ports)
+        buckets: Dict[str, List[Finding]] = {p: [] for p in ports}
+        for finding in findings:
+            method = (finding.function or "").rsplit(".", 1)[-1]
+            matched = [p for p, ms in ports.items() if method in ms]
+            for port in matched or list(ports):
+                buckets[port].append(finding)
+        out[name] = buckets
+    return out
+
+
+def port_is_clean(findings: Iterable[Finding]) -> bool:
+    """The paper's porting bar: nothing above INFO."""
+    return all(f.severity <= Severity.INFO for f in findings)

@@ -1,0 +1,86 @@
+"""Baseline / suppression file for the advisor's CI gate.
+
+The gate fails only on findings *not* in the checked-in baseline, so
+pre-existing advisories (the explicit Rodinia ports' redundant copies
+are intentional — they are the ported-as-is code the paper measures)
+do not block CI while new regressions do.
+
+Fingerprints must survive unrelated edits: they hash the rule id, the
+repo-relative file, the enclosing function, and the message — never
+the line number, which is why check messages are line-free (the line
+lives only in :attr:`Finding.line`).  The same value is exported as
+the SARIF ``partialFingerprints`` entry so code-scanning UIs track the
+same identity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Union
+
+from ..findings import Finding
+
+#: Format marker for the baseline JSON file.
+BASELINE_VERSION = 1
+
+
+def _relative(file: str) -> str:
+    """Repo-relative posix path when possible (stable fingerprints)."""
+    if not file:
+        return ""
+    path = Path(file)
+    try:
+        path = path.resolve().relative_to(Path.cwd().resolve())
+    except ValueError:
+        pass
+    return path.as_posix()
+
+
+def fingerprint(finding: Finding) -> str:
+    """Stable identity of one finding across line-number drift."""
+    key = "|".join(
+        [
+            finding.rule,
+            _relative(finding.file or ""),
+            finding.function or "",
+            finding.message,
+        ]
+    )
+    return hashlib.sha256(key.encode("utf-8")).hexdigest()[:20]
+
+
+def save_baseline(
+    findings: Iterable[Finding], path: Union[str, os.PathLike]
+) -> Dict[str, str]:
+    """Write the baseline file; returns fingerprint -> summary map."""
+    prints: Dict[str, str] = {}
+    for f in sorted(findings, key=lambda f: (f.file or "", f.line or 0,
+                                             f.rule)):
+        prints[fingerprint(f)] = f"{f.rule} @ {_relative(f.file or '')} " \
+                                 f"in {f.function or '<module>'}"
+    doc = {"version": BASELINE_VERSION, "fingerprints": prints}
+    Path(path).write_text(json.dumps(doc, indent=2) + "\n")
+    return prints
+
+
+def load_baseline(path: Union[str, os.PathLike]) -> Dict[str, str]:
+    """Read a baseline file back to its fingerprint map."""
+    doc = json.loads(Path(path).read_text())
+    if doc.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"unsupported baseline version {doc.get('version')!r} in {path}"
+        )
+    prints = doc.get("fingerprints", {})
+    if not isinstance(prints, dict):
+        raise ValueError(f"malformed baseline file {path}")
+    return dict(prints)
+
+
+def new_findings(
+    findings: Iterable[Finding], baseline: Dict[str, str]
+) -> List[Finding]:
+    """The findings whose fingerprint the baseline does not cover."""
+    return [f for f in findings if fingerprint(f) not in baseline]

@@ -45,7 +45,7 @@ import re
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from .findings import Finding, Severity
+from .findings import Finding, make_finding
 
 #: CUDA-era / removed spellings and their modern replacements.
 DEPRECATED_APIS: Dict[str, str] = {
@@ -174,13 +174,14 @@ class _ScopeLinter:
     def _add(
         self,
         rule: str,
-        severity: Severity,
         message: str,
         line: int,
         hint: Optional[str] = None,
     ) -> None:
+        """Report one finding; its severity comes from the rule
+        registry in :mod:`repro.analyze.findings`."""
         self.findings.append(
-            Finding(rule, severity, message, file=self.file, line=line, hint=hint)
+            make_finding(rule, message, file=self.file, line=line, hint=hint)
         )
 
     # -- statement walk ------------------------------------------------
@@ -194,7 +195,6 @@ class _ScopeLinter:
                 continue
             self._add(
                 "lint.leaked-alloc",
-                Severity.WARNING,
                 f"allocation {name!r} is never freed in this scope",
                 line,
                 hint=f"add hipFree({name}) (or return the buffer to the "
@@ -277,7 +277,6 @@ class _ScopeLinter:
             ):
                 self._add(
                     "lint.mixed-model",
-                    Severity.WARNING,
                     f"buffer {name!r} is allocated through both the "
                     f"{previous} and {family} memory models",
                     val.lineno,
@@ -326,7 +325,6 @@ class _ScopeLinter:
         if name in DEPRECATED_APIS:
             self._add(
                 "lint.deprecated-api",
-                Severity.ERROR,
                 f"{name} is a deprecated API name",
                 node.lineno,
                 hint=f"use {DEPRECATED_APIS[name]} instead",
@@ -338,7 +336,6 @@ class _ScopeLinter:
         ):
             self._add(
                 "lint.unknown-api",
-                Severity.ERROR,
                 f"{name} is not a HIP API this runtime provides",
                 node.lineno,
                 hint="see dir(repro.runtime.HipRuntime) for the supported "
@@ -349,7 +346,6 @@ class _ScopeLinter:
                 if isinstance(arg, ast.Name) and arg.id in self.freed:
                     self._add(
                         "lint.use-after-free",
-                        Severity.ERROR,
                         f"{arg.id!r} is used after hipFree "
                         f"(freed at line {self.freed[arg.id]})",
                         node.lineno,
@@ -367,7 +363,6 @@ class _ScopeLinter:
         elif name in HOST_COMPUTE_CALLS and self.pending_async is not None:
             self._add(
                 "lint.missing-sync",
-                Severity.WARNING,
                 f"host compute while asynchronous work from line "
                 f"{self.pending_async} may still be in flight",
                 node.lineno,
@@ -380,7 +375,6 @@ class _ScopeLinter:
         if arg is not None and arg in self.freed:
             self._add(
                 "lint.double-free",
-                Severity.ERROR,
                 f"{arg!r} is freed twice (first at line {self.freed[arg]})",
                 node.lineno,
                 hint="remove the second hipFree or rebind the name first",
@@ -389,7 +383,6 @@ class _ScopeLinter:
         if self.pending_async is not None:
             self._add(
                 "lint.free-before-sync",
-                Severity.ERROR,
                 "hipFree while asynchronous work from line "
                 f"{self.pending_async} may still be in flight",
                 node.lineno,
@@ -411,7 +404,6 @@ class _ScopeLinter:
         ):
             self._add(
                 "lint.unknown-api",
-                Severity.ERROR,
                 f"{node.attr} is not a HIP name this runtime provides",
                 node.lineno,
             )
@@ -421,7 +413,6 @@ class _ScopeLinter:
         if base in self.freed:
             self._add(
                 "lint.use-after-free",
-                Severity.ERROR,
                 f"{base!r} is used after hipFree "
                 f"(freed at line {self.freed[base]})",
                 node.lineno,
@@ -434,7 +425,6 @@ class _ScopeLinter:
         ):
             self._add(
                 "lint.missing-sync",
-                Severity.WARNING,
                 f"host access to {base!r}.np while asynchronous work from "
                 f"line {self.pending_async} may still be in flight",
                 node.lineno,
@@ -452,7 +442,6 @@ class _ScopeLinter:
         ):
             self._add(
                 "lint.unknown-api",
-                Severity.ERROR,
                 f"{node.id} is not a HIP name this runtime provides",
                 node.lineno,
             )
@@ -484,9 +473,8 @@ def lint_source(source: str, file: str = "<string>") -> List[Finding]:
         tree = ast.parse(source, filename=file)
     except SyntaxError as exc:
         return [
-            Finding(
+            make_finding(
                 "lint.syntax-error",
-                Severity.ERROR,
                 f"cannot parse: {exc.msg}",
                 file=file,
                 line=exc.lineno,

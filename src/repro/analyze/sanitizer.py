@@ -34,7 +34,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from .events import EventLog, RuntimeEvent
-from .findings import Finding, Severity
+from .findings import Finding, make_finding
 from .hb import VectorClock, ordered_before
 
 #: GPU-faulted pages on one buffer that qualify as a fault storm (info).
@@ -152,9 +152,8 @@ class Sanitizer:
         if not state.alive:
             self._report(
                 ("hipsan.double-free", state.uid),
-                Finding(
+                make_finding(
                     "hipsan.double-free",
-                    Severity.ERROR,
                     f"buffer {state.describe()} freed twice through hipFree",
                     hint="free each allocation exactly once; clear the "
                     "handle after the first hipFree",
@@ -168,9 +167,8 @@ class Sanitizer:
                 continue
             self._report(
                 ("hipsan.free-in-flight", state.uid, access.label),
-                Finding(
+                make_finding(
                     "hipsan.free-in-flight",
-                    Severity.ERROR,
                     f"buffer {state.describe()} freed while {access.label} "
                     "may still be executing",
                     hint="synchronize the stream (hipStreamSynchronize / "
@@ -317,9 +315,8 @@ class Sanitizer:
         name = d.get("name") or d.get("buffer") or "memory"
         self._report(
             ("hipsan.xnack-fatal", name, d.get("reason")),
-            Finding(
+            make_finding(
                 "hipsan.xnack-fatal",
-                Severity.ERROR,
                 f"GPU access to {name!r} is fatal: {d.get('reason', '?')}",
                 hint="run with HSA_XNACK=1 or allocate the buffer with a "
                 "GPU-mapped allocator (hipMalloc / hipHostMalloc / "
@@ -332,9 +329,8 @@ class Sanitizer:
             if state.gpu_fault_pages >= GPU_FAULT_STORM_PAGES:
                 self._report(
                     ("hipsan.fault-storm", state.uid),
-                    Finding(
+                    make_finding(
                         "hipsan.fault-storm",
-                        Severity.INFO,
                         f"buffer {state.describe()} served "
                         f"{state.gpu_fault_pages} GPU page faults",
                         hint="pre-fault from the CPU before the first GPU "
@@ -353,9 +349,8 @@ class Sanitizer:
         if not state.alive:
             self._report(
                 ("hipsan.use-after-free", uid, access.label),
-                Finding(
+                make_finding(
                     "hipsan.use-after-free",
-                    Severity.ERROR,
                     f"{access.label} touches buffer {state.describe()} "
                     "after hipFree",
                     hint="move the hipFree after the last use, or extend "
@@ -410,9 +405,8 @@ class Sanitizer:
         overlap_hi = min(prev.hi, access.hi)
         self._report(
             (rule, state.uid, prev.label, access.label),
-            Finding(
+            make_finding(
                 rule,
-                Severity.ERROR,
                 f"buffer {state.describe()}: {access.label} is unordered "
                 f"with {prev.label} over bytes "
                 f"[{overlap_lo}, {overlap_hi})",

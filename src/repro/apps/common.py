@@ -90,6 +90,14 @@ class RodiniaApp(abc.ABC):
     #: consumed by the hipsan regression sweep.
     last_trace = None
 
+    #: Map from port model to the method names implementing it, used by
+    #: ``repro advise --apps`` to bucket static findings per port.
+    #: Apps whose entry points differ (nn, heartwall) override this.
+    advise_ports: Dict[str, Tuple[str, ...]] = {
+        "explicit": ("_run_explicit",),
+        "managed": ("_run_unified",),
+    }
+
     def default_params(self) -> Dict[str, int]:
         """Problem-size parameters (overridable per run)."""
         return {}

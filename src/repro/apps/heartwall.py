@@ -72,6 +72,10 @@ class Heartwall(RodiniaApp):
 
     name = "heartwall"
     variants = ("explicit", "unified-v1", "unified-v2")
+    advise_ports = {
+        "explicit": ("_run_explicit",),
+        "managed": ("_run_managed_static", "_run_double_buffered"),
+    }
 
     def default_params(self) -> Dict[str, int]:
         return {"frame_dim": 1024, "frames": 40, "points": 64}

@@ -45,6 +45,10 @@ class NearestNeighbor(RodiniaApp):
 
     name = "nn"
     variants = ("explicit", "unified", "unified-hipalloc")
+    advise_ports = {
+        "explicit": ("_compute_explicit",),
+        "managed": ("_compute_unified",),
+    }
 
     def default_params(self) -> Dict[str, int]:
         return {"records": 1 << 25, "k": 8}

@@ -13,6 +13,9 @@ thin shell over the engine:
     python -m repro verify-bench out/BENCH_results.json
     python -m repro lint examples              # static HIP API-misuse linter
     python -m repro analyze --quick            # hipsan sweep over the apps
+    python -m repro advise --apps              # static UPM performance advisor
+    python -m repro advise examples --format sarif --out advise.sarif
+    python -m repro verify-sarif advise.sarif  # structural SARIF 2.1.0 check
 
 ``run`` executes each grid point on a freshly built simulated node,
 caches point results on disk (``--no-cache`` / ``--refresh`` control
@@ -156,8 +159,8 @@ def cmd_list(args: argparse.Namespace) -> int:
         ["experiment", "source", "points", "quick", "grid", "title"],
         rows,
     )
-    print("\nAlso available: export, lint, analyze, verify-bench; "
-          "'repro run --all' executes every experiment above.")
+    print("\nAlso available: export, lint, analyze, advise, verify-bench, "
+          "verify-sarif; 'repro run --all' executes every experiment above.")
     return 0
 
 
@@ -193,15 +196,112 @@ def cmd_verify_bench(args: argparse.Namespace) -> int:
 
 def cmd_lint(args: argparse.Namespace) -> int:
     """Static HIP API-misuse linter over Python sources."""
-    from .analyze import has_errors, lint_paths, render_json, render_text
+    from .analyze import (
+        has_errors,
+        lint_paths,
+        render_json,
+        render_sarif,
+        render_text,
+    )
 
     paths = args.paths or ["examples", "src/repro/apps"]
     findings = lint_paths(paths, exclude=tuple(args.exclude or ()))
-    if args.json:
+    fmt = "json" if args.json else (args.format or "text")
+    if fmt == "json":
         print(render_json(findings))
+    elif fmt == "sarif":
+        print(render_sarif(findings, tool="repro-lint"))
     else:
         print(render_text(findings))
     return 1 if has_errors(findings) else 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    """Static UPM performance advisor (CFG + dataflow) with SARIF."""
+    from .analyze import (
+        Severity,
+        advise_apps,
+        advise_paths,
+        load_baseline,
+        new_findings,
+        render_json,
+        render_sarif,
+        render_text,
+        save_baseline,
+    )
+
+    if args.apps:
+        buckets = advise_apps()
+        findings, seen = [], set()
+        for name in sorted(buckets):
+            for port in sorted(buckets[name]):
+                port_findings = buckets[name][port]
+                if args.format == "text":
+                    worst = [
+                        f for f in port_findings if f.severity > Severity.INFO
+                    ]
+                    status = (
+                        "clean" if not worst else f"{len(worst)} advisory(ies)"
+                    )
+                    print(f"{name:10s} {port:9s} {status}")
+                for f in port_findings:
+                    key = (f.rule, f.file, f.line, f.message)
+                    if key not in seen:
+                        seen.add(key)
+                        findings.append(f)
+    elif args.paths:
+        findings = advise_paths(
+            args.paths, exclude=tuple(args.exclude or ())
+        )
+    else:
+        print("advise: name at least one path, or use --apps",
+              file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        prints = save_baseline(findings, args.write_baseline)
+        print(f"wrote {len(prints)} fingerprint(s) to {args.write_baseline}")
+        return 0
+
+    if args.format == "sarif":
+        rendered = render_sarif(findings)
+    elif args.format == "json":
+        rendered = render_json(findings)
+    else:
+        rendered = render_text(findings)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(rendered + "\n")
+        print(f"wrote {args.format} report to {args.out}")
+    else:
+        print(rendered)
+
+    gate = [f for f in findings if f.severity >= Severity.WARNING]
+    if args.baseline:
+        gate = new_findings(gate, load_baseline(args.baseline))
+        if gate:
+            print(
+                f"{len(gate)} finding(s) not in baseline {args.baseline}",
+                file=sys.stderr,
+            )
+    return 1 if gate else 0
+
+
+def cmd_verify_sarif(args: argparse.Namespace) -> int:
+    """Validate a SARIF file against the 2.1.0 structural invariants."""
+    import json
+
+    from .analyze import validate_sarif
+
+    with open(args.path) as fh:
+        doc = json.load(fh)
+    problems = validate_sarif(doc)
+    if problems:
+        for problem in problems:
+            print(f"SARIF: {problem}", file=sys.stderr)
+        return 1
+    print(f"{args.path}: ok")
+    return 0
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
@@ -313,8 +413,37 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--exclude", action="append", default=None,
                       help="path suffix to skip; repeatable")
     lint.add_argument("--json", action="store_true",
-                      help="emit findings as JSON")
+                      help="emit findings as JSON (same as --format json)")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default=None, help="report format (default text)")
     lint.set_defaults(func=cmd_lint)
+
+    advise = sub.add_parser(
+        "advise", help="static UPM performance advisor (CFG + dataflow)"
+    )
+    advise.add_argument("paths", nargs="*",
+                        help="files or directories to advise")
+    advise.add_argument("--apps", action="store_true",
+                        help="advise the six Rodinia ports, per port model")
+    advise.add_argument("--exclude", action="append", default=None,
+                        help="path suffix to skip; repeatable")
+    advise.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text", help="report format (default text)")
+    advise.add_argument("--out", default=None,
+                        help="write the report to this file")
+    advise.add_argument("--baseline", default=None,
+                        help="suppression file: fail only on findings "
+                             "missing from it")
+    advise.add_argument("--write-baseline", default=None,
+                        help="write the current findings as the baseline "
+                             "and exit")
+    advise.set_defaults(func=cmd_advise)
+
+    verify_sarif = sub.add_parser(
+        "verify-sarif", help="validate a SARIF 2.1.0 report file"
+    )
+    verify_sarif.add_argument("path", help="path to the .sarif file")
+    verify_sarif.set_defaults(func=cmd_verify_sarif)
 
     analyze = sub.add_parser(
         "analyze", help="hipsan happens-before sanitizer over the apps"

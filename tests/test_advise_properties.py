@@ -1,0 +1,153 @@
+"""Property tests for the advisor's CFG builder and dataflow fixpoint.
+
+Random jump-free program shapes (nested if/for/while/try over a small
+statement alphabet) must always produce a CFG where
+
+* every statement/header node is reachable from entry,
+* entry dominates and exit postdominates every reachable node,
+* the worklist fixpoint is actually a fixpoint: re-applying any node's
+  transfer to its converged in-state changes no successor's in-state,
+* analysis is deterministic: advising the same source twice gives the
+  same findings.
+"""
+
+import ast
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.analyze import advise_source  # noqa: E402
+from repro.analyze.advise.cfg import build_cfg  # noqa: E402
+from repro.analyze.advise.dataflow import (  # noqa: E402
+    AbsState,
+    FunctionResult,
+    _Interp,
+    compute_in_states,
+)
+
+# -- program generator -------------------------------------------------
+#
+# A program is a tree of blocks.  Leaves are simple statements drawn
+# from a small alphabet that exercises the dataflow transfer (runtime
+# construction, allocation, launch, sync, arithmetic); interior nodes
+# are compound statements.  No return/break/continue, so every node is
+# reachable and all flow falls through to exit.
+
+SIMPLE = (
+    "hip = make_runtime(memory_gib=1, xnack=True)",
+    'buf = hip.array(1 << 12, np.float32, "hipMalloc", name="b")',
+    'buf = hip.array(1 << 12, np.float32, "malloc", name="m")',
+    'hip.launchKernel(KernelSpec("k", [BufferAccess(buf.allocation, "read")]))',
+    "hip.hipDeviceSynchronize()",
+    "x = x + 1",
+    "y = x",
+    "pass",
+)
+
+simple_stmt = st.sampled_from(SIMPLE)
+
+
+def _compound(block):
+    return st.one_of(
+        st.tuples(st.just("if"), block, block),
+        st.tuples(st.just("while"), block),
+        st.tuples(st.just("for"), block),
+        st.tuples(st.just("try"), block, block),
+    )
+
+
+block = st.recursive(
+    st.lists(simple_stmt, min_size=1, max_size=4),
+    lambda inner: st.lists(
+        st.one_of(simple_stmt, _compound(inner)), min_size=1, max_size=4
+    ),
+    max_leaves=12,
+)
+
+
+def render(stmts, indent=0):
+    pad = "    " * indent
+    lines = []
+    for stmt in stmts:
+        if isinstance(stmt, str):
+            lines.append(pad + stmt)
+        elif stmt[0] == "if":
+            lines.append(pad + "if cond:")
+            lines.extend(render(stmt[1], indent + 1))
+            lines.append(pad + "else:")
+            lines.extend(render(stmt[2], indent + 1))
+        elif stmt[0] == "while":
+            lines.append(pad + "while cond:")
+            lines.extend(render(stmt[1], indent + 1))
+        elif stmt[0] == "for":
+            lines.append(pad + "for i in items:")
+            lines.extend(render(stmt[1], indent + 1))
+        elif stmt[0] == "try":
+            lines.append(pad + "try:")
+            lines.extend(render(stmt[1], indent + 1))
+            lines.append(pad + "except ValueError:")
+            lines.extend(render(stmt[2], indent + 1))
+    return lines
+
+
+def source_of(tree):
+    return "\n".join(["x = 0"] + render(tree)) + "\n"
+
+
+@settings(max_examples=60, deadline=None)
+@given(block)
+def test_statement_nodes_reachable_and_bracketed(tree):
+    cfg = build_cfg(ast.parse(source_of(tree)).body)
+    reachable = cfg.reachable()
+    for node in cfg.statement_nodes():
+        assert node.id in reachable
+    dom = cfg.dominators()
+    postdom = cfg.postdominators()
+    for node in reachable:
+        assert cfg.entry in dom[node]
+        assert cfg.exit in postdom[node]
+
+
+@settings(max_examples=60, deadline=None)
+@given(block)
+def test_loop_regions_contain_their_bodies(tree):
+    cfg = build_cfg(ast.parse(source_of(tree)).body)
+    for index, loop in enumerate(cfg.loops):
+        assert loop.head in cfg.nodes
+        for member in loop.body:
+            assert index in cfg.loops_of[member]
+
+
+@settings(max_examples=40, deadline=None)
+@given(block)
+def test_fixpoint_is_stable(tree):
+    body = ast.parse(source_of(tree)).body
+    cfg = build_cfg(body)
+    result = FunctionResult(
+        qualname="prog", file="prog.py", param_names=[], param_defaults={}
+    )
+    interp = _Interp(result, cfg, {})
+    in_states = compute_in_states(interp, cfg, AbsState(env={}))
+    # Every reached node's transfer, re-applied, must not change any
+    # successor's converged in-state.
+    for node_id, state in in_states.items():
+        out = interp.transfer(cfg.nodes[node_id], state.copy(), emit=False)
+        for succ in cfg.succ[node_id]:
+            assert succ in in_states
+            assert not in_states[succ].copy().merge(out)
+
+
+@settings(max_examples=25, deadline=None)
+@given(block)
+def test_analysis_is_deterministic(tree):
+    src = source_of(tree)
+    first = advise_source(src, "prog.py")
+    second = advise_source(src, "prog.py")
+    assert [
+        (f.rule, f.line, f.function, f.message) for f in first
+    ] == [
+        (f.rule, f.line, f.function, f.message) for f in second
+    ]

@@ -274,3 +274,20 @@ class TestLintCli:
         main(["lint", "--json", str(tmp_path)])
         data = json.loads(capsys.readouterr().out)
         assert data[0]["rule"] == "lint.unknown-api"
+
+    def test_sarif_output_is_valid(self, tmp_path, capsys):
+        import json
+
+        from repro.analyze import validate_sarif
+        from repro.cli import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("hipBogusCall()\n")
+        main(["lint", "--format", "sarif", str(tmp_path)])
+        doc = json.loads(capsys.readouterr().out)
+        assert validate_sarif(doc) == []
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        assert any(
+            r["ruleId"] == "lint.unknown-api" for r in run["results"]
+        )
