@@ -18,6 +18,7 @@ import numpy as np
 from repro import BufferAccess, KernelSpec, make_runtime
 from repro.analyze import analyze_runtime, render_text
 from repro.core.faults import GPUMemoryAccessError
+from repro.runtime.hip import HipError
 
 
 def _spec(name, alloc, mode):
@@ -95,8 +96,8 @@ def double_free():
     hip.hipFree(data)
     try:
         hip.hipFree(data)  # BUG: second free of the same handle.
-    except ValueError:
-        pass  # the simulated allocator refuses, like a debug heap would
+    except HipError:
+        pass  # the runtime refuses with hipErrorInvalidValue
     return analyze_runtime(hip)
 
 

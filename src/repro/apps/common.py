@@ -90,6 +90,10 @@ class RodiniaApp(abc.ABC):
     #: consumed by the hipsan regression sweep.
     last_trace = None
 
+    #: APU of the most recent run, kept so the chaos harness can check
+    #: post-run invariants (leaked frames, page-table consistency).
+    last_apu = None
+
     #: Map from port model to the method names implementing it, used by
     #: ``repro advise --apps`` to bucket static findings per port.
     #: Apps whose entry points differ (nn, heartwall) override this.
@@ -132,11 +136,15 @@ class RodiniaApp(abc.ABC):
         params: Optional[Dict[str, int]] = None,
         seed: int = 0x1300A,
         trace: bool = False,
+        inject=None,
     ) -> AppResult:
         """Run one variant on a fresh APU and collect the Fig. 11 metrics.
 
         With ``trace=True`` the runtime records a hipsan event log,
-        available afterwards as :attr:`last_trace`.
+        available afterwards as :attr:`last_trace`.  *inject* attaches
+        an :class:`~repro.inject.InjectionPlan` to the run's APU (the
+        chaos harness's entry point); the APU itself stays reachable as
+        :attr:`last_apu` for post-run invariant checks.
         """
         if variant not in self.variants:
             raise ValueError(
@@ -151,25 +159,33 @@ class RodiniaApp(abc.ABC):
             merged.update(params)
         runtime = make_runtime(
             memory_gib, xnack=self.needs_xnack(variant), seed=seed,
-            trace=trace,
+            trace=trace, inject=inject,
         )
         self.last_trace = runtime.apu.trace
+        self.last_apu = runtime.apu
         apu = runtime.apu
         profiler = MemoryUsageProfiler(apu)
         start = apu.clock.now_ns
-        with apu.clock.region("total"):
-            checksum = self._run(variant, runtime, profiler, merged)
-            runtime.hipDeviceSynchronize()
-        profiler.sample()
-        total_s = (apu.clock.now_ns - start) / 1e9
+        try:
+            with apu.clock.region("total"):
+                checksum = self._run(variant, runtime, profiler, merged)
+                runtime.hipDeviceSynchronize()
+            profiler.sample()
+        finally:
+            # Teardown: the apps borrow the runtime's memory arena and
+            # leave their buffers live; the harness releases everything
+            # here, after the measured window, the way process exit does
+            # for the real Rodinia binaries.  hipFree is expensive at
+            # these sizes (Fig. 6), so freeing inside the window would
+            # distort the Fig. 11 ratios.  Running in a finally block
+            # means a faulted run (injected fatal error) still returns
+            # its frames — the no-leak invariant the chaos harness
+            # checks.
+            end_ns = apu.clock.now_ns
+            for allocation in list(apu.memory.allocations):
+                apu.memory.free(allocation)
+        total_s = (end_ns - start) / 1e9
         compute_s = apu.clock.region_ns("compute") / 1e9
-        # Teardown: the apps borrow the runtime's memory arena and leave
-        # their buffers live; the harness releases everything here, after
-        # the measured window, the way process exit does for the real
-        # Rodinia binaries.  hipFree is expensive at these sizes (Fig. 6),
-        # so freeing inside the window would distort the Fig. 11 ratios.
-        for allocation in list(apu.memory.allocations):
-            apu.memory.free(allocation)
         return AppResult(
             app=self.name,
             variant=variant,

@@ -117,7 +117,7 @@ class NearestNeighbor(RodiniaApp):
         # Staging: duplicate the records on the "device" and pre-allocate
         # the host-side result array (outside the timed compute phase,
         # where the original's timers sit).
-        d_records = runtime.apu.memory.hip_malloc(nbytes, name="d_records")
+        d_records = runtime.hipMalloc(nbytes, name="d_records")
         d_dist = runtime.array(count, np.float32, "hipMalloc", name="dist")
         h_dist = runtime.array(count, np.float32, "malloc", name="h_dist")
         apu.touch(h_dist.allocation, "cpu")

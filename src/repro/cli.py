@@ -16,6 +16,7 @@ thin shell over the engine:
     python -m repro advise --apps              # static UPM performance advisor
     python -m repro advise examples --format sarif --out advise.sarif
     python -m repro verify-sarif advise.sarif  # structural SARIF 2.1.0 check
+    python -m repro chaos --campaign standard --quick   # fault injection
 
 ``run`` executes each grid point on a freshly built simulated node,
 caches point results on disk (``--no-cache`` / ``--refresh`` control
@@ -62,6 +63,7 @@ def _make_engine(args: argparse.Namespace):
         workers=getattr(args, "workers", 1),
         cache=cache,
         refresh=getattr(args, "refresh", False),
+        point_timeout_s=getattr(args, "timeout", None),
     )
 
 
@@ -187,6 +189,48 @@ def cmd_verify_bench(args: argparse.Namespace) -> int:
         return 1
     print(f"{args.path}: ok")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run apps under a named fault-injection campaign (repro.inject)."""
+    from .inject import run_campaign, report_bytes
+
+    try:
+        report = run_campaign(
+            args.campaign,
+            seed=args.seed,
+            apps=args.apps or None,
+            quick=args.quick,
+            memory_gib=args.memory_gib,
+        )
+    except (KeyError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"chaos: {message}", file=sys.stderr)
+        return 2
+    rendered = report_bytes(report)
+    if args.out:
+        with open(args.out, "wb") as fh:
+            fh.write(rendered)
+        print(f"wrote chaos report to {args.out}")
+    else:
+        sys.stdout.write(rendered.decode("utf-8"))
+
+    for run in report["runs"]:
+        status = "ok" if run["ok"] else "FAIL"
+        detail = ""
+        if run["error"] is not None:
+            code = run["error"].get("code", run["error"]["type"])
+            detail = f" ({code})"
+        print(
+            f"chaos {report['campaign']:16s} {run['app']:10s} "
+            f"{run['variant']:16s} {status}{detail}",
+            file=sys.stderr,
+        )
+    if not report["ok"]:
+        bad = sum(1 for run in report["runs"] if not run["ok"])
+        print(f"{bad} chaos run(s) violated the campaign contract",
+              file=sys.stderr)
+    return 0 if report["ok"] else 1
 
 
 # ----------------------------------------------------------------------
@@ -389,6 +433,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="write per-experiment JSON + BENCH_results.json here",
     )
+    run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock budget; an overrunning point is "
+             "recorded as a failure instead of hanging the sweep",
+    )
     _add_engine_options(run)
     run.set_defaults(func=cmd_run)
 
@@ -444,6 +493,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     verify_sarif.add_argument("path", help="path to the .sarif file")
     verify_sarif.set_defaults(func=cmd_verify_sarif)
+
+    chaos = sub.add_parser(
+        "chaos", help="run apps under a named fault-injection campaign"
+    )
+    chaos.add_argument(
+        "--campaign", default="standard",
+        help="campaign name (see repro.inject.CAMPAIGNS; default standard)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="base seed; the same seed yields a byte-identical report",
+    )
+    chaos.add_argument(
+        "--apps", nargs="*", default=None,
+        help="restrict to these applications (default: all six ports)",
+    )
+    chaos.add_argument(
+        "--quick", action="store_true",
+        help="only the nn + hotspot subset",
+    )
+    chaos.add_argument(
+        "--memory-gib", type=int, default=8,
+        help="simulated pool size in GiB (small enough that pressure "
+             "faults bite; default 8)",
+    )
+    chaos.add_argument(
+        "--out", default=None,
+        help="write the JSON report here instead of stdout",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     analyze = sub.add_parser(
         "analyze", help="hipsan happens-before sanitizer over the apps"

@@ -47,7 +47,7 @@ from .address_space import (
 from .faults import FaultHandler
 from .page import NO_FRAME
 from .page_table import HMMMirror
-from .physical import PhysicalMemory
+from .physical import OutOfMemoryError, PhysicalMemory
 
 
 class AllocatorKind(enum.Enum):
@@ -346,22 +346,68 @@ class MemoryManager:
         vma = self._as.mmap(size, name=name, pinned=pinned)
         vma.gpu_access = GPU_ACCESS_ALWAYS
         vma.on_demand = False
-        if contiguous:
-            chunk_pages = max(
-                1, self._config.policy.up_front_contiguity_bytes // PAGE_SIZE
-            )
-            frames = self._physical.alloc_chunks(
-                vma.npages, chunk_pages, frame_range=frame_range
-            )
-        else:
-            # Pinning grabs pages through the normal buddy path but in
-            # allocation order (balanced across channels), landing pairs.
-            frames = self._physical.alloc_chunks(
-                vma.npages, 2, frame_range=frame_range
-            )
+        try:
+            if contiguous:
+                chunk_pages = max(
+                    1, self._config.policy.up_front_contiguity_bytes // PAGE_SIZE
+                )
+                frames = self._physical.alloc_chunks(
+                    vma.npages, chunk_pages, frame_range=frame_range
+                )
+            else:
+                # Pinning grabs pages through the normal buddy path but in
+                # allocation order (balanced across channels), landing pairs.
+                frames = self._physical.alloc_chunks(
+                    vma.npages, 2, frame_range=frame_range
+                )
+        except OutOfMemoryError:
+            # A failed frame allocation must not leak the address range.
+            self._as.munmap(vma)
+            raise
         vma.frames[:] = frames
         self._hmm.gpu.map_range(vma, 0, vma.npages)
         return vma
+
+    def up_front_degraded(
+        self,
+        size: int,
+        name: str,
+        kind: AllocatorKind,
+        frame_range: Optional[Tuple[int, int]] = None,
+    ) -> Allocation:
+        """Degraded-mode up-front allocation from scattered single frames.
+
+        The recovery fallback for the pinned allocators under memory
+        pressure: when the paired/chunked path cannot find aligned runs,
+        the runtime retries with pageable-style scattered frames — still
+        pinned and GPU-mapped up-front, but with malloc-class contiguity
+        (small fragments, biased channels), so the downgrade has the
+        observable performance signature the paper associates with
+        on-demand layouts.
+        """
+        if kind not in (
+            AllocatorKind.HIP_HOST_MALLOC,
+            AllocatorKind.HIP_MALLOC_MANAGED,
+        ):
+            raise ValueError(f"no degraded-mode path for {kind}")
+        managed = kind is AllocatorKind.HIP_MALLOC_MANAGED
+        cost = pinned_alloc_cost_ns(self._config, size, managed=managed)
+        self._clock.advance(cost)
+        vma = self._as.mmap(size, name=name, pinned=True)
+        vma.gpu_access = GPU_ACCESS_ALWAYS
+        vma.on_demand = False
+        try:
+            frames = self._physical.alloc_scattered(
+                vma.npages, pair_fraction=0.0, frame_range=frame_range
+            )
+        except OutOfMemoryError:
+            self._as.munmap(vma)
+            raise
+        vma.frames[:] = frames
+        self._hmm.gpu.map_range(vma, 0, vma.npages)
+        return self._register(
+            Allocation(vma, kind, size, False, True, self.xnack_enabled, cost)
+        )
 
     def _register(self, allocation: Allocation) -> Allocation:
         self.allocations.append(allocation)

@@ -38,7 +38,7 @@ from .address_space import (
 )
 from .page import NO_FRAME
 from .page_table import HMMMirror
-from .physical import PhysicalMemory
+from .physical import PhysicalMemory, TransientAllocationError
 
 Device = Literal["cpu", "gpu"]
 
@@ -57,6 +57,8 @@ class FaultCounters:
     gpu_major_pages: int = 0
     gpu_minor_events: int = 0
     gpu_minor_pages: int = 0
+    xnack_retries: int = 0
+    storm_replay_pages: int = 0
 
     def snapshot(self) -> "FaultCounters":
         """A copy of the current counters."""
@@ -80,6 +82,8 @@ class FaultReport:
     gpu_major_pages: int = 0
     gpu_minor_pages: int = 0
     eager_mapped_pages: int = 0
+    xnack_retries: int = 0
+    storm_replay_pages: int = 0
     service_time_ns: float = 0.0
 
     @property
@@ -92,6 +96,15 @@ class FaultReport:
 
 class FaultHandler:
     """Resolves CPU and GPU page faults against the unified pool."""
+
+    #: Hardware XNACK replay budget: how many times one access's replay
+    #: may be dropped/NACKed before the wave aborts (the fatal path).
+    XNACK_RETRY_LIMIT = 8
+
+    #: Direct-reclaim analogue: how many times the fault path retries a
+    #: transiently failed frame allocation before giving up.  The kernel
+    #: retries inside the fault handler, so userspace never sees these.
+    FAULT_ALLOC_RETRY_LIMIT = 4
 
     def __init__(
         self,
@@ -108,6 +121,7 @@ class FaultHandler:
         self.counters = FaultCounters()
         self._rng = np.random.default_rng(seed)
         self.trace = None  # EventLog when the owning APU traces
+        self.inject = None  # InjectionPlan when fault injection is active
 
     # ------------------------------------------------------------------
     # Entry point
@@ -166,7 +180,9 @@ class FaultHandler:
         need_alloc = missing_pte & ~have_frame
         n_alloc = int(need_alloc.sum())
         if n_alloc:
-            frames = self._physical.alloc_scattered(n_alloc)
+            frames = self._alloc_with_reclaim(
+                lambda: self._physical.alloc_scattered(n_alloc), vma
+            )
             idx = first_page + np.flatnonzero(need_alloc)
             self._map_cpu_pages(vma, idx, frames)
             # One fault event per page: anonymous memory faults in
@@ -277,6 +293,9 @@ class FaultHandler:
                 f"GPU page fault on {vma.name or 'memory'} with XNACK "
                 "disabled: on-demand mapped pages are inaccessible"
             )
+        report.xnack_retries = self._xnack_replay_retries(
+            vma, first_page, count
+        )
         have_frame = vma.frames[sl] != NO_FRAME
 
         # Major faults: allocate physical frames in contiguous chunks (the
@@ -289,7 +308,9 @@ class FaultHandler:
             chunk_pages = max(
                 1, self._config.policy.up_front_contiguity_bytes // PAGE_SIZE
             )
-            frames = self._physical.alloc_chunks(n_alloc, chunk_pages)
+            frames = self._alloc_with_reclaim(
+                lambda: self._physical.alloc_chunks(n_alloc, chunk_pages), vma
+            )
             idx = first_page + np.flatnonzero(need_alloc)
             self._map_cpu_pages(vma, idx, frames)
             report.gpu_major_pages += n_alloc
@@ -303,12 +324,90 @@ class FaultHandler:
         self._hmm.propagate_range(vma, first_page, count)
         vma.gpu_touched = True
 
+        report.storm_replay_pages = self._retry_storm_pages(vma, report)
+
         self.counters.gpu_major_pages += report.gpu_major_pages
         self.counters.gpu_minor_pages += report.gpu_minor_pages
+        self.counters.xnack_retries += report.xnack_retries
+        self.counters.storm_replay_pages += report.storm_replay_pages
         if report.gpu_major_pages:
             self.counters.gpu_major_events += 1
         if report.gpu_minor_pages:
             self.counters.gpu_minor_events += 1
+
+    def _alloc_with_reclaim(self, alloc, vma: VMA) -> np.ndarray:
+        """Frame allocation with the kernel's direct-reclaim retry.
+
+        The fault path must not surface transient allocation failures
+        to userspace: the kernel retries (direct reclaim) up to
+        :attr:`FAULT_ALLOC_RETRY_LIMIT` times before letting the
+        failure propagate.  Genuine exhaustion propagates immediately.
+        """
+        retries = 0
+        while True:
+            try:
+                return alloc()
+            except TransientAllocationError:
+                if retries >= self.FAULT_ALLOC_RETRY_LIMIT:
+                    raise
+                retries += 1
+                if self.inject is not None:
+                    self.inject.note(
+                        "recover.fault.reclaim-retry",
+                        name=vma.name,
+                        attempt=retries,
+                    )
+
+    # ------------------------------------------------------------------
+    # Injected XNACK pathologies
+    # ------------------------------------------------------------------
+
+    def _xnack_replay_retries(
+        self, vma: VMA, first_page: int, count: int
+    ) -> int:
+        """Bounded XNACK retry loop under injected replay drops.
+
+        Each ``xnack.retry``/``drop`` fire models the fault handler's
+        acknowledgement getting lost: the wave replays, faults again,
+        and the handler re-runs.  The loop is bounded by
+        :attr:`XNACK_RETRY_LIMIT`; exhausting it escalates to the same
+        fatal path a disabled XNACK takes (aborted wavefront).
+        """
+        if self.inject is None:
+            return 0
+        retries = 0
+        while retries <= self.XNACK_RETRY_LIMIT:
+            fault = self.inject.fire(
+                "xnack.retry",
+                name=vma.name,
+                address=vma.start + first_page * PAGE_SIZE,
+                pages=count,
+            )
+            if fault is None or fault.kind != "drop":
+                return retries
+            retries += 1
+        self._emit_fatal(
+            vma, f"XNACK retry limit ({self.XNACK_RETRY_LIMIT}) exceeded"
+        )
+        raise GPUMemoryAccessError(
+            f"GPU access to {vma.name or 'memory'} aborted: XNACK replay "
+            f"dropped more than {self.XNACK_RETRY_LIMIT} times"
+        )
+
+    def _retry_storm_pages(self, vma: VMA, report: FaultReport) -> int:
+        """Extra replayed pages under an injected XNACK retry storm."""
+        if self.inject is None:
+            return 0
+        faulted = report.gpu_major_pages + report.gpu_minor_pages
+        if not faulted:
+            return 0
+        fault = self.inject.fire(
+            "xnack.storm", name=vma.name, pages=faulted
+        )
+        if fault is None or fault.kind != "storm":
+            return 0
+        factor = float(fault.params.get("factor", 4.0))
+        return int(faulted * max(0.0, factor - 1.0))
 
     # ------------------------------------------------------------------
     # Timing
@@ -344,6 +443,12 @@ class FaultHandler:
                 costs.gpu_minor_batched_page_ns,
             )
         total += report.eager_mapped_pages * self._config.policy.eager_map_page_ns
+        # Injected XNACK pathologies: every dropped replay re-runs a full
+        # handler pass; storm replays re-service pages at the batched rate.
+        if report.xnack_retries:
+            total += report.xnack_retries * costs.gpu_major_single_latency_ns
+        if report.storm_replay_pages:
+            total += report.storm_replay_pages * costs.gpu_minor_batched_page_ns
         return total
 
     def sample_single_fault_latency_ns(

@@ -33,6 +33,12 @@ class OutOfMemoryError(MemoryError):
     """Raised when the physical pool cannot satisfy a request."""
 
 
+class TransientAllocationError(OutOfMemoryError):
+    """An allocation failed for a transient reason (injected): the pool
+    is not actually exhausted and an immediate retry may succeed.  The
+    HIP layer's bounded retry-with-backoff consumes these."""
+
+
 class PhysicalMemory:
     """Frame allocator over the APU's unified physical pool."""
 
@@ -62,6 +68,11 @@ class PhysicalMemory:
         lanes = np.arange(channels) % geo.channels_per_stack
         self._channel_residue = stacks + geo.stacks * lanes
         self._residue_modulus = geo.stacks * geo.channels_per_stack
+        # Fault injection: plan consulted at allocation entry, and the
+        # frames claimed by injected fragmentation pressure (released by
+        # defragment()/release_pressure(), owned by no allocation).
+        self.inject = None
+        self._pressure_frames = np.empty(0, dtype=np.int64)
 
     @property
     def total_frames(self) -> int:
@@ -113,6 +124,7 @@ class PhysicalMemory:
             raise ValueError(f"npages must be positive, got {npages}")
         if chunk_pages <= 0 or chunk_pages & (chunk_pages - 1):
             raise ValueError(f"chunk_pages must be a power of two, got {chunk_pages}")
+        self._consult_inject(npages, contiguous=True)
         if npages > self._free_count:
             raise OutOfMemoryError(
                 f"requested {npages} frames, only {self._free_count} free"
@@ -200,6 +212,7 @@ class PhysicalMemory:
         """
         if npages <= 0:
             raise ValueError(f"npages must be positive, got {npages}")
+        self._consult_inject(npages, contiguous=False)
         if npages > self._free_count:
             raise OutOfMemoryError(
                 f"requested {npages} frames, only {self._free_count} free"
@@ -209,17 +222,23 @@ class PhysicalMemory:
 
         allocated: list[np.ndarray] = []
         remaining = npages
-        # Some draws produce adjacent pairs: allocate those first in pairs.
-        pair_pages = int(npages * pair_fraction) & ~1
-        if pair_pages:
-            pairs = self._draw_scattered(pair_pages // 2, run=2,
-                                         frame_range=frame_range)
-            allocated.append(pairs)
-            remaining -= len(pairs)
-        if remaining:
-            singles = self._draw_scattered(remaining, run=1,
-                                           frame_range=frame_range)
-            allocated.append(singles)
+        try:
+            # Some draws produce adjacent pairs: allocate those in pairs.
+            pair_pages = int(npages * pair_fraction) & ~1
+            if pair_pages:
+                pairs = self._draw_scattered(pair_pages // 2, run=2,
+                                             frame_range=frame_range)
+                allocated.append(pairs)
+                remaining -= len(pairs)
+            if remaining:
+                singles = self._draw_scattered(remaining, run=1,
+                                               frame_range=frame_range)
+                allocated.append(singles)
+        except OutOfMemoryError:
+            # A failed later draw must not leak the earlier batches.
+            for batch in allocated:
+                self.free(batch)
+            raise
         frames = np.concatenate(allocated)[:npages]
         return frames
 
@@ -286,6 +305,10 @@ class PhysicalMemory:
             # Pool too full for sampling: sweep for any free frames.
             free_idx = lo + np.flatnonzero(self._free[lo:hi])[: total - filled]
             if len(free_idx) < total - filled:
+                # Roll back the frames this draw already claimed so a
+                # failed allocation never leaks partial progress.
+                if filled:
+                    self.free(out[:filled])
                 raise OutOfMemoryError("physical pool exhausted")
             self._claim(free_idx)
             out[filled:] = free_idx
@@ -316,3 +339,89 @@ class PhysicalMemory:
     def is_free(self, frame: int) -> bool:
         """True when *frame* is currently unallocated."""
         return bool(self._free[frame])
+
+    # ------------------------------------------------------------------
+    # Fault injection: transient failures and fragmentation pressure
+    # ------------------------------------------------------------------
+
+    def _consult_inject(self, npages: int, contiguous: bool) -> None:
+        """Fire the ``physical.alloc`` injection site for this request."""
+        if self.inject is None:
+            return
+        fault = self.inject.fire(
+            "physical.alloc",
+            npages=npages,
+            contiguous=contiguous,
+            free_frames=self._free_count,
+        )
+        if fault is None:
+            return
+        if fault.kind == "transient":
+            raise TransientAllocationError(
+                f"injected transient allocation failure "
+                f"({npages} frame request)"
+            )
+        if fault.kind == "pressure":
+            self.apply_pressure(float(fault.params.get("fraction", 0.25)))
+        else:
+            raise ValueError(
+                f"physical.alloc does not understand kind {fault.kind!r}"
+            )
+
+    def apply_pressure(self, fraction: float) -> int:
+        """Fragment the free list: claim every other free frame.
+
+        Claims up to *fraction* of the free frames in an every-second
+        pattern, destroying contiguous runs the way a hostile co-tenant
+        (or a long uptime) would.  The frames belong to no allocation;
+        :meth:`release_pressure` / :meth:`defragment` return them.
+        Returns the number of frames claimed.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError(f"pressure fraction must be in [0, 1], got {fraction}")
+        free_idx = np.flatnonzero(self._free)
+        take = free_idx[::2][: int(len(free_idx) * fraction)]
+        if take.size == 0:
+            return 0
+        self._claim(take)
+        self._pressure_frames = np.concatenate([self._pressure_frames, take])
+        return int(take.size)
+
+    def release_pressure(self) -> int:
+        """Free all injected-pressure frames; returns how many."""
+        reclaimed = int(self._pressure_frames.size)
+        if reclaimed:
+            self.free(self._pressure_frames)
+            self._pressure_frames = np.empty(0, dtype=np.int64)
+        return reclaimed
+
+    def defragment(self) -> int:
+        """Memory-reclaim/compaction analogue: the defrag-then-retry hook.
+
+        On real hardware the driver responds to allocation failure by
+        compacting and reclaiming; in the simulator the only reclaimable
+        state is injected fragmentation pressure.  Returns the number of
+        frames recovered (0 = the OOM is genuine).
+        """
+        return self.release_pressure()
+
+    @property
+    def pressure_frames(self) -> int:
+        """Frames currently held by injected fragmentation pressure."""
+        return int(self._pressure_frames.size)
+
+    def audit(self) -> list[str]:
+        """Internal-consistency problems (empty list = healthy pool)."""
+        problems: list[str] = []
+        bitmap_free = int(self._free.sum())
+        if bitmap_free != self._free_count:
+            problems.append(
+                f"free bitmap ({bitmap_free}) disagrees with free count "
+                f"({self._free_count})"
+            )
+        if self._pressure_frames.size:
+            problems.append(
+                f"{self._pressure_frames.size} injected-pressure frame(s) "
+                "still claimed"
+            )
+        return problems

@@ -30,6 +30,7 @@ from .engine import (
     Engine,
     ExperimentResult,
     PointResult,
+    PointTimeoutError,
     bench_payload,
     execute_point,
     utc_timestamp,
@@ -57,6 +58,7 @@ __all__ = [
     "ExperimentSpec",
     "Point",
     "PointResult",
+    "PointTimeoutError",
     "REGISTRY",
     "ResultCache",
     "SCHEMA_VERSION",

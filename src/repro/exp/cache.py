@@ -73,12 +73,22 @@ def default_cache_dir() -> Path:
 
 
 class ResultCache:
-    """Content-addressed JSON store for point results."""
+    """Content-addressed JSON store for point results.
+
+    Entries are written as ``{"sha256": ..., "payload": ...}`` so a
+    truncated or bit-rotted file is detected on read instead of feeding
+    silently-wrong rows into a sweep.  A corrupt entry counts as a miss
+    and is moved into ``<root>/quarantine/`` for post-mortem; entries in
+    the pre-checksum layout (a bare payload object) are still served.
+    """
+
+    QUARANTINE_DIR = "quarantine"
 
     def __init__(self, root: Path | str):
         self.root = Path(root)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     @staticmethod
     def key(version: str, spec_hash: str, params: Dict[str, Any]) -> str:
@@ -88,26 +98,57 @@ class ResultCache:
         )
         return hashlib.sha256(blob.encode()).hexdigest()
 
+    @staticmethod
+    def _digest(payload: Any) -> str:
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()
+
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it cannot hit again."""
+        dest = self.root / self.QUARANTINE_DIR / path.name
+        try:
+            dest.parent.mkdir(parents=True, exist_ok=True)
+            path.replace(dest)
+        except OSError:
+            pass  # best effort — the read already counted as a miss
+        self.quarantined += 1
 
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """The stored payload, or None on a miss (or a corrupt entry)."""
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, ValueError):
+            text = path.read_text()
+        except OSError:
             self.misses += 1
             return None
+        try:
+            doc = json.loads(text)
+        except ValueError:
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if isinstance(doc, dict) and set(doc) == {"sha256", "payload"}:
+            if doc["sha256"] != self._digest(doc["payload"]):
+                self._quarantine(path)
+                self.misses += 1
+                return None
+            payload = doc["payload"]
+        else:
+            payload = doc  # pre-checksum entry
         self.hits += 1
         return payload
 
     def put(self, key: str, payload: Dict[str, Any]) -> Path:
-        """Store *payload* under *key*; atomic via rename."""
+        """Store *payload* (checksummed) under *key*; atomic via rename."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"sha256": self._digest(payload), "payload": payload}
         tmp = path.with_suffix(".tmp")
-        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.write_text(json.dumps(entry, sort_keys=True))
         tmp.replace(path)
         return path
 

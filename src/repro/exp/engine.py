@@ -15,10 +15,14 @@ status by the CLI.
 
 from __future__ import annotations
 
+import contextlib
 import json
+import signal
+import threading
 import time
 import traceback
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from datetime import datetime, timezone
 from pathlib import Path
@@ -56,21 +60,64 @@ def _normalize_payload(raw: Any) -> Dict[str, Any]:
     return json.loads(json.dumps(payload))
 
 
-def execute_point(name: str, params: Dict[str, Any]) -> Tuple[
-    Dict[str, Any], float
-]:
+class PointTimeoutError(RuntimeError):
+    """A point exceeded its per-point wall-clock budget."""
+
+
+@contextlib.contextmanager
+def _point_alarm(timeout_s: Optional[float]):
+    """Bound one point's wall time with ``SIGALRM`` where possible.
+
+    A no-op when no budget is set, off the main thread, or on platforms
+    without ``SIGALRM`` — the timeout is best-effort hardening, never a
+    portability constraint.
+    """
+    usable = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _on_alarm(signum, frame):
+        raise PointTimeoutError(
+            f"point exceeded the {timeout_s:g}s per-point budget"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def execute_point(
+    name: str,
+    params: Dict[str, Any],
+    timeout_s: Optional[float] = None,
+) -> Tuple[Dict[str, Any], float]:
     """Run one point in the current process (also the pool entry point).
 
     Returns ``(payload, wall_seconds)``; a raising runner yields an
-    ``{"error": traceback}`` payload so failures survive the trip back
-    from a worker process.
+    ``{"error": traceback, "params": ...}`` payload so failures survive
+    the trip back from a worker process with the point that caused them.
+    ``KeyboardInterrupt`` and ``SystemExit`` propagate — an operator's
+    Ctrl-C must stop the sweep, not become one more failed point.
     """
     start = time.perf_counter()
     try:
-        spec = get_spec(name)
-        payload = _normalize_payload(spec.runner(**params))
+        with _point_alarm(timeout_s):
+            spec = get_spec(name)
+            payload = _normalize_payload(spec.runner(**params))
+    except (KeyboardInterrupt, SystemExit):
+        raise
     except BaseException:  # noqa: BLE001 — the traceback is the product
-        payload = {"error": traceback.format_exc()}
+        payload = {"error": traceback.format_exc(), "params": dict(params)}
     return payload, time.perf_counter() - start
 
 
@@ -175,6 +222,13 @@ class Engine:
         Recompute every point and overwrite cache entries.
     version:
         Code-version string for cache keys (defaults to the git SHA).
+    point_timeout_s:
+        Optional wall-clock budget per point; an overrunning point is
+        recorded as a failure (``PointTimeoutError`` traceback) instead
+        of hanging the sweep.
+    max_point_retries:
+        How many times a point lost to a worker-process crash is
+        requeued onto a fresh pool before it is recorded as failed.
     """
 
     def __init__(
@@ -183,11 +237,15 @@ class Engine:
         cache: Optional[ResultCache] = None,
         refresh: bool = False,
         version: Optional[str] = None,
+        point_timeout_s: Optional[float] = None,
+        max_point_retries: int = 2,
     ):
         self.workers = max(1, int(workers))
         self.cache = cache
         self.refresh = refresh
         self.version = version or code_version()
+        self.point_timeout_s = point_timeout_s
+        self.max_point_retries = max(0, int(max_point_retries))
         #: points actually computed (cache misses) across this engine's life
         self.executed_points = 0
         #: points served from the cache across this engine's life
@@ -298,18 +356,66 @@ class Engine:
             return []
         if self.workers <= 1 or len(pending) == 1:
             return [
-                execute_point(spec.name, point.params)
+                execute_point(spec.name, point.params, self.point_timeout_s)
                 for spec, point, _ in pending
             ]
+        return self._execute_pool(pending)
+
+    def _execute_pool(
+        self, pending: Sequence[Tuple[ExperimentSpec, Point, Optional[str]]]
+    ) -> List[Tuple[Dict[str, Any], float]]:
+        """Pool execution with crash containment.
+
+        A worker that dies (OOM-killed, segfaulting extension, ...)
+        breaks the whole ``ProcessPoolExecutor``: every outstanding
+        future raises ``BrokenProcessPool``.  Those points are requeued
+        onto a fresh pool — innocent points complete on the next round,
+        while a point that keeps killing its worker exhausts
+        ``max_point_retries`` and is recorded as a failure with its
+        parameters, never aborting the sweep.
+        """
         context = _pool_context()
-        with ProcessPoolExecutor(
-            max_workers=min(self.workers, len(pending)), mp_context=context
-        ) as pool:
-            futures = [
-                pool.submit(execute_point, spec.name, point.params)
-                for spec, point, _ in pending
-            ]
-            return [future.result() for future in futures]
+        results: List[Optional[Tuple[Dict[str, Any], float]]] = (
+            [None] * len(pending)
+        )
+        crashes = [0] * len(pending)
+        queue = list(range(len(pending)))
+        while queue:
+            requeue: List[int] = []
+            with ProcessPoolExecutor(
+                max_workers=min(self.workers, len(queue)), mp_context=context
+            ) as pool:
+                futures = {
+                    idx: pool.submit(
+                        execute_point,
+                        pending[idx][0].name,
+                        pending[idx][1].params,
+                        self.point_timeout_s,
+                    )
+                    for idx in queue
+                }
+                for idx, future in futures.items():
+                    try:
+                        results[idx] = future.result()
+                    except BrokenProcessPool as crash:
+                        crashes[idx] += 1
+                        if crashes[idx] > self.max_point_retries:
+                            _, point, _ = pending[idx]
+                            results[idx] = (
+                                {
+                                    "error": (
+                                        "worker process crashed "
+                                        f"({crash or 'pool broken'}); gave "
+                                        f"up after {crashes[idx]} attempts"
+                                    ),
+                                    "params": dict(point.params),
+                                },
+                                0.0,
+                            )
+                        else:
+                            requeue.append(idx)
+            queue = requeue
+        return [result for result in results if result is not None]
 
 
 def _pool_context():

@@ -25,6 +25,19 @@ import numpy as np
 
 from .config import HBMGeometry, PAGE_SIZE
 
+#: Latency of one on-the-fly ECC correction event (scrub + retry of the
+#: affected burst).  HBM3 corrects single-symbol errors inline; the cost
+#: is small but observable under an injected error storm.
+ECC_CORRECTION_NS = 2_000.0
+
+
+class UncorrectableECCError(RuntimeError):
+    """A multi-symbol HBM frame error the ECC code cannot correct.
+
+    On hardware this poisons the cacheline and RAS kills the consuming
+    process; the runtime surfaces it as ``hipErrorECCNotCorrectable``.
+    """
+
 
 class HBMSubsystem:
     """Maps physical frames to stacks/channels and tracks traffic.
@@ -54,6 +67,10 @@ class HBMSubsystem:
         self._frames_per_domain = total_frames // numa_domains
         self._stacks_per_domain = geometry.stacks // numa_domains
         self._channel_bytes = np.zeros(geometry.channels, dtype=np.int64)
+        # RAS counters (the `amd-smi metric --ecc` view) + fault injection.
+        self.inject = None
+        self.correctable_errors = 0
+        self.uncorrectable_errors = 0
 
     @property
     def geometry(self) -> HBMGeometry:
@@ -180,6 +197,31 @@ class HBMSubsystem:
     def reset_traffic(self) -> None:
         """Zero all per-channel traffic counters."""
         self._channel_bytes[:] = 0
+
+    def ecc_check(self, nbytes: int) -> float:
+        """Consult the injection plan for frame errors on one access.
+
+        Returns the extra correction latency in ns (0 when nothing
+        fired).  Correctable errors bump the RAS counter and cost
+        :data:`ECC_CORRECTION_NS` each; an uncorrectable error raises
+        :class:`UncorrectableECCError` after counting itself.
+        """
+        if self.inject is None:
+            return 0.0
+        fault = self.inject.fire("hbm.ecc", nbytes=nbytes)
+        if fault is None:
+            return 0.0
+        if fault.kind == "correctable":
+            count = max(1, int(fault.params.get("count", 1)))
+            self.correctable_errors += count
+            return count * ECC_CORRECTION_NS
+        if fault.kind == "uncorrectable":
+            self.uncorrectable_errors += 1
+            raise UncorrectableECCError(
+                f"uncorrectable HBM frame error during a {nbytes}-byte "
+                "access: data poisoned"
+            )
+        raise ValueError(f"hbm.ecc does not understand kind {fault.kind!r}")
 
 
 def channel_balance(histogram: np.ndarray) -> float:

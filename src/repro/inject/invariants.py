@@ -1,0 +1,106 @@
+"""Post-run invariant checks the chaos harness enforces.
+
+After a workload completes (or fails) under fault injection, the
+simulator must be back in a consistent state: no physical frame may be
+owned by nothing, the free bitmap must agree with the free counter, no
+frame may back two pages, and the page tables must agree with the HMM
+mirror's view of residency.  Each check returns human-readable problem
+strings; an empty list means the invariant holds.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.page import NO_FRAME
+
+
+def vma_problems(vma) -> List[str]:
+    """Page-table/HMM-mirror consistency problems of one live VMA.
+
+    A page marked present in either table must have a physical frame
+    (the mirror never maps a frame-less page), and a GPU PTE's fragment
+    exponent is only meaningful — and only allowed — where the GPU
+    table actually has the page.
+    """
+    problems: List[str] = []
+    label = vma.name or f"{vma.start:#x}"
+    has_frame = vma.frames != NO_FRAME
+    sys_broken = int((vma.sys_valid & ~has_frame).sum())
+    if sys_broken:
+        problems.append(
+            f"VMA {label}: {sys_broken} page(s) present in the system "
+            "table without a physical frame"
+        )
+    gpu_broken = int((vma.gpu_valid & ~has_frame).sum())
+    if gpu_broken:
+        problems.append(
+            f"VMA {label}: {gpu_broken} page(s) present in the GPU "
+            "table without a physical frame"
+        )
+    stray_fragment = int(((vma.fragment != 0) & ~vma.gpu_valid).sum())
+    if stray_fragment:
+        problems.append(
+            f"VMA {label}: {stray_fragment} fragment exponent(s) on "
+            "pages absent from the GPU table"
+        )
+    return problems
+
+
+def check_invariants(apu, expect_quiescent: bool = True) -> List[str]:
+    """All simulator consistency problems visible on *apu* right now.
+
+    With *expect_quiescent* (the post-run default), live allocations
+    and still-claimed frames are themselves violations — the workload
+    teardown and the plan's own teardown must have returned everything.
+    With it False, the accounting checks still run (every claimed frame
+    must be owned by a VMA or by injected pressure; no double mapping)
+    but live buffers are legal — usable mid-run.
+    """
+    problems: List[str] = list(apu.physical.audit() if expect_quiescent else [])
+    if not expect_quiescent:
+        # The pool audit flags outstanding pressure, which is legal
+        # mid-run; keep only the bitmap-vs-counter check.
+        problems = [p for p in apu.physical.audit() if "pressure" not in p]
+
+    if expect_quiescent and apu.memory.allocations:
+        names = ", ".join(
+            a.vma.name or hex(a.address) for a in apu.memory.allocations[:5]
+        )
+        problems.append(
+            f"{len(apu.memory.allocations)} allocation(s) still live "
+            f"after teardown ({names})"
+        )
+    if expect_quiescent and len(apu.address_space):
+        problems.append(
+            f"{len(apu.address_space)} VMA(s) still mapped after teardown"
+        )
+
+    mapped: List[np.ndarray] = []
+    for vma in apu.address_space:
+        problems.extend(vma_problems(vma))
+        frames = vma.resident_frames()
+        if frames.size:
+            mapped.append(frames)
+    all_mapped = (
+        np.concatenate(mapped) if mapped else np.empty(0, dtype=np.int64)
+    )
+    if all_mapped.size != np.unique(all_mapped).size:
+        problems.append("a physical frame backs more than one page")
+    marked_free = [int(f) for f in all_mapped if apu.physical.is_free(int(f))]
+    if marked_free:
+        problems.append(
+            f"{len(marked_free)} mapped frame(s) marked free in the pool "
+            f"(e.g. frame {marked_free[0]})"
+        )
+
+    used = apu.physical.total_frames - apu.physical.free_frames
+    leaked = used - int(all_mapped.size) - apu.physical.pressure_frames
+    if leaked:
+        problems.append(
+            f"{leaked} physical frame(s) claimed but owned by no VMA "
+            "(leaked)"
+        )
+    return problems

@@ -9,12 +9,20 @@ from .apu import APU, make_apu
 from .arrays import DeviceArray
 from .device import CPUComplex, GPUCounters, GPUDevice
 from .hip import (
+    ALLOC_BACKOFF_NS,
+    ALLOC_RETRY_LIMIT,
     HipError,
     HipRuntime,
+    hipErrorECCNotCorrectable,
+    hipErrorInvalidDevice,
+    hipErrorInvalidValue,
+    hipErrorOutOfMemory,
+    hipErrorUnknown,
     hipMemcpyDefault,
     hipMemcpyDeviceToDevice,
     hipMemcpyDeviceToHost,
     hipMemcpyHostToDevice,
+    hipSuccess,
     make_runtime,
 )
 from .kernels import (
@@ -24,10 +32,17 @@ from .kernels import (
     KernelResult,
     KernelSpec,
 )
-from .sdma import copy_path, memcpy_bandwidth_bytes_per_s, memcpy_time_ns
+from .sdma import (
+    SdmaTransferError,
+    copy_path,
+    memcpy_bandwidth_bytes_per_s,
+    memcpy_time_ns,
+)
 from .stream import Event, Stream, StreamRegistry, UnrecordedEventError
 
 __all__ = [
+    "ALLOC_BACKOFF_NS",
+    "ALLOC_RETRY_LIMIT",
     "APU",
     "BufferAccess",
     "CPUComplex",
@@ -41,14 +56,21 @@ __all__ = [
     "KernelEngine",
     "KernelResult",
     "KernelSpec",
+    "SdmaTransferError",
     "Stream",
     "StreamRegistry",
     "UnrecordedEventError",
     "copy_path",
+    "hipErrorECCNotCorrectable",
+    "hipErrorInvalidDevice",
+    "hipErrorInvalidValue",
+    "hipErrorOutOfMemory",
+    "hipErrorUnknown",
     "hipMemcpyDefault",
     "hipMemcpyDeviceToDevice",
     "hipMemcpyDeviceToHost",
     "hipMemcpyHostToDevice",
+    "hipSuccess",
     "make_apu",
     "make_runtime",
     "memcpy_bandwidth_bytes_per_s",

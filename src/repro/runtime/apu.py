@@ -46,6 +46,9 @@ class APU:
         trace: record a structured :class:`~repro.analyze.events.EventLog`
             of every allocation, copy, kernel, fault and synchronisation
             for the hipsan pass (:mod:`repro.analyze.sanitizer`).
+        inject: an :class:`~repro.inject.InjectionPlan` to attach to the
+            APU's fault-injection sites (physical allocator, fault
+            handler, HBM ECC, TLB shootdowns).
     """
 
     def __init__(
@@ -55,6 +58,7 @@ class APU:
         seed: int = 0x1300A,
         partition: Optional[PartitionConfig] = None,
         trace: bool = False,
+        inject=None,
     ) -> None:
         from ..core.physical import PhysicalMemory  # local to keep import light
 
@@ -97,6 +101,9 @@ class APU:
         self.gpu = GPUDevice(self.config)
         self.cpu = CPUComplex(self.config)
         self.streams = StreamRegistry(self.clock, trace=self.trace)
+        self.inject = inject
+        if inject is not None:
+            inject.attach(self)
 
     @property
     def xnack(self) -> bool:
@@ -188,6 +195,7 @@ def make_apu(
     seed: int = 0x1300A,
     partition: Optional[PartitionConfig] = None,
     trace: bool = False,
+    inject=None,
 ) -> APU:
     """Convenience constructor.
 
@@ -195,7 +203,10 @@ def make_apu(
     a down-scaled pool for fast tests (policies unchanged).
     """
     if memory_gib is None:
-        return APU(xnack=xnack, seed=seed, partition=partition, trace=trace)
+        return APU(
+            xnack=xnack, seed=seed, partition=partition, trace=trace,
+            inject=inject,
+        )
     from ..hw.config import small_config
 
     return APU(
@@ -204,4 +215,5 @@ def make_apu(
         seed=seed,
         partition=partition,
         trace=trace,
+        inject=inject,
     )

@@ -13,12 +13,19 @@ from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
-from ..core.allocators import Allocation
+from ..core.allocators import Allocation, AllocatorKind
+from ..core.physical import OutOfMemoryError, TransientAllocationError
+from ..hw.hbm import UncorrectableECCError
 from ..partition import LogicalDevice, PartitionConfig
 from .apu import APU
 from .arrays import DeviceArray, Shape
 from .kernels import KernelEngine, KernelResult, KernelSpec
-from .sdma import copy_path, memcpy_time_ns
+from .sdma import (
+    SdmaTransferError,
+    apply_transfer_faults,
+    copy_path,
+    memcpy_time_ns,
+)
 from .stream import Event, Stream, UnrecordedEventError
 
 #: hipMemcpy kind constants (accepted and ignored: UPM has one memory).
@@ -27,12 +34,40 @@ hipMemcpyDeviceToHost = "D2H"
 hipMemcpyDeviceToDevice = "D2D"
 hipMemcpyDefault = "default"
 
+#: hipError_t codes the simulator surfaces (string-valued, like the
+#: hipGetErrorName view of the enum).
+hipSuccess = "hipSuccess"
+hipErrorOutOfMemory = "hipErrorOutOfMemory"
+hipErrorInvalidValue = "hipErrorInvalidValue"
+hipErrorInvalidDevice = "hipErrorInvalidDevice"
+hipErrorECCNotCorrectable = "hipErrorECCNotCorrectable"
+hipErrorUnknown = "hipErrorUnknown"
+
+#: Bounded retry-with-backoff for transient allocation failures: how
+#: many retries, and the first backoff step (doubles per attempt).
+ALLOC_RETRY_LIMIT = 4
+ALLOC_BACKOFF_NS = 50_000.0
+
 BufferLike = Union[Allocation, DeviceArray]
 
 
 class HipError(RuntimeError):
-    """A HIP API call failed (the simulator raises instead of returning
-    error codes, but the message carries the hipError_t name)."""
+    """A HIP API call failed.
+
+    The simulator raises instead of returning error codes, but every
+    raise carries the ``hipError_t`` name: machine-readable in
+    :attr:`code`, and as the message prefix for humans.  The owning
+    runtime also latches the code for the
+    :meth:`HipRuntime.hipGetLastError` /
+    :meth:`HipRuntime.hipPeekAtLastError` surface.
+    """
+
+    def __init__(self, message: str, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        if code is None:
+            head = message.split(":", 1)[0].strip()
+            code = head if head.startswith("hipError") else hipErrorUnknown
+        self.code = code
 
 
 def _allocation(buffer: BufferLike) -> Allocation:
@@ -49,6 +84,37 @@ class HipRuntime:
         self.sdma_enabled = sdma_enabled
         self._engine = KernelEngine(apu)
         self._current_device = 0
+        self._last_error = hipSuccess
+        #: Recorded degradation events (allocator downgrade, SDMA→blit
+        #: failover).  The chaos harness and tests assert on these.
+        self.degradations: list = []
+
+    # ------------------------------------------------------------------
+    # Error surface
+    # ------------------------------------------------------------------
+
+    def _error(self, code: str, message: str) -> HipError:
+        """Build a typed :class:`HipError` and latch it as the last error."""
+        self._last_error = code
+        return HipError(f"{code}: {message}", code)
+
+    def hipGetLastError(self) -> str:
+        """Return and clear the last error code (``hipSuccess`` if clean)."""
+        code = self._last_error
+        self._last_error = hipSuccess
+        return code
+
+    def hipPeekAtLastError(self) -> str:
+        """Return the last error code without clearing it."""
+        return self._last_error
+
+    def _record_degradation(self, event: str, **data) -> None:
+        record = {"event": event, "t_ns": self.apu.clock.now_ns}
+        record.update(data)
+        self.degradations.append(record)
+        plan = self.apu.physical.inject
+        if plan is not None:
+            plan.note(f"degrade.{event}", **data)
 
     # ------------------------------------------------------------------
     # Device management (partition-aware enumeration)
@@ -66,9 +132,10 @@ class HipRuntime:
     def hipSetDevice(self, device: int) -> None:
         """Select the logical device subsequent calls operate on."""
         if not 0 <= device < len(self.apu.logical_devices):
-            raise HipError(
-                f"hipErrorInvalidDevice: device {device} out of range "
-                f"[0, {len(self.apu.logical_devices)})"
+            raise self._error(
+                hipErrorInvalidDevice,
+                f"device {device} out of range "
+                f"[0, {len(self.apu.logical_devices)})",
             )
         self._current_device = device
 
@@ -79,9 +146,10 @@ class HipRuntime:
     def hipDeviceGet(self, ordinal: int) -> LogicalDevice:
         """The logical-device handle for *ordinal*."""
         if not 0 <= ordinal < len(self.apu.logical_devices):
-            raise HipError(
-                f"hipErrorInvalidDevice: device {ordinal} out of range "
-                f"[0, {len(self.apu.logical_devices)})"
+            raise self._error(
+                hipErrorInvalidDevice,
+                f"device {ordinal} out of range "
+                f"[0, {len(self.apu.logical_devices)})",
             )
         return self.apu.logical_devices[ordinal]
 
@@ -107,22 +175,127 @@ class HipRuntime:
     # Memory management
     # ------------------------------------------------------------------
 
+    def _alloc_with_recovery(
+        self,
+        attempt,
+        *,
+        size: int,
+        name: str,
+        degraded=None,
+    ) -> Allocation:
+        """Run an allocation attempt through the recovery ladder.
+
+        Transient failures retry up to :data:`ALLOC_RETRY_LIMIT` times
+        with exponential backoff (each retry advances the simulated
+        clock); a hard or persistent failure gets one
+        defragment-then-retry; pinned allocators may then fall back to a
+        *degraded* scattered-frame layout, recording the downgrade.
+        Only when the ladder is exhausted does the call surface
+        ``hipErrorOutOfMemory``.
+        """
+        plan = self.apu.physical.inject
+        retries = 0
+        defragged = False
+        while True:
+            try:
+                return attempt()
+            except TransientAllocationError as failure:
+                if retries < ALLOC_RETRY_LIMIT:
+                    retries += 1
+                    backoff = ALLOC_BACKOFF_NS * 2 ** (retries - 1)
+                    self.apu.clock.advance(backoff)
+                    if plan is not None:
+                        plan.note(
+                            "recover.alloc.retry",
+                            name=name,
+                            attempt=retries,
+                            backoff_ns=backoff,
+                        )
+                    continue
+                last = failure
+            except OutOfMemoryError as failure:
+                last = failure
+            if not defragged:
+                defragged = True
+                reclaimed = self.apu.physical.defragment()
+                if plan is not None:
+                    plan.note(
+                        "recover.alloc.defrag",
+                        name=name,
+                        reclaimed_frames=reclaimed,
+                    )
+                if reclaimed:
+                    continue
+            if degraded is not None:
+                fallback, degraded = degraded, None
+                try:
+                    allocation = fallback()
+                except OutOfMemoryError:
+                    pass
+                else:
+                    self._record_degradation(
+                        "alloc.scattered-fallback", name=name, size_bytes=size
+                    )
+                    return allocation
+            raise self._error(hipErrorOutOfMemory, f"{name}: {last}") from last
+
     def hipMalloc(self, nbytes: int, name: str = "hipMalloc") -> Allocation:
-        """Allocate device-style memory (up-front, contiguous)."""
-        return self.apu.memory.hip_malloc(
-            nbytes, name=name, frame_range=self._frame_range()
+        """Allocate device-style memory (up-front, contiguous).
+
+        Hardened: transient failures retry with backoff and hard
+        failures trigger one defragment-then-retry, but hipMalloc never
+        downgrades to a scattered layout — device code depends on its
+        large fragments — so persistent shortage surfaces as
+        ``hipErrorOutOfMemory``.
+        """
+        frame_range = self._frame_range()
+        return self._alloc_with_recovery(
+            lambda: self.apu.memory.hip_malloc(
+                nbytes, name=name, frame_range=frame_range
+            ),
+            size=nbytes,
+            name=name,
         )
 
     def hipHostMalloc(self, nbytes: int, name: str = "hipHostMalloc") -> Allocation:
-        """Allocate page-locked host-style memory (up-front, pinned)."""
-        return self.apu.memory.hip_host_malloc(
-            nbytes, name=name, frame_range=self._frame_range()
+        """Allocate page-locked host-style memory (up-front, pinned).
+
+        Under unrecoverable pressure the runtime downgrades to pinned
+        scattered frames (pageable-style layout) and records the
+        degradation rather than failing the call.
+        """
+        frame_range = self._frame_range()
+        return self._alloc_with_recovery(
+            lambda: self.apu.memory.hip_host_malloc(
+                nbytes, name=name, frame_range=frame_range
+            ),
+            size=nbytes,
+            name=name,
+            degraded=lambda: self.apu.memory.up_front_degraded(
+                nbytes, name, AllocatorKind.HIP_HOST_MALLOC, frame_range
+            ),
         )
 
     def hipMallocManaged(self, nbytes: int, name: str = "managed") -> Allocation:
-        """Allocate managed memory (mode depends on XNACK, Table 1)."""
-        return self.apu.memory.hip_malloc_managed(
-            nbytes, name=name, frame_range=self._frame_range()
+        """Allocate managed memory (mode depends on XNACK, Table 1).
+
+        The XNACK=0 up-front path can downgrade to pinned scattered
+        frames under pressure, like :meth:`hipHostMalloc`; the XNACK=1
+        path is on-demand and allocates nothing up-front.
+        """
+        frame_range = self._frame_range()
+        degraded = None
+        if not self.apu.memory.xnack_enabled:
+            degraded = lambda: self.apu.memory.up_front_degraded(  # noqa: E731
+                nbytes, name, AllocatorKind.HIP_MALLOC_MANAGED, frame_range
+            )
+        return self._alloc_with_recovery(
+            lambda: self.apu.memory.hip_malloc_managed(
+                nbytes, name=name, frame_range=frame_range
+            ),
+            size=nbytes,
+            name=name,
+            degraded=degraded,
         )
 
     def malloc(self, nbytes: int, name: str = "malloc") -> Allocation:
@@ -134,8 +307,15 @@ class HipRuntime:
         return self.apu.memory.host_register(_allocation(buffer))
 
     def hipFree(self, buffer: BufferLike) -> None:
-        """Free any allocation (dispatches the right deallocator)."""
-        self.apu.memory.free(_allocation(buffer))
+        """Free any allocation (dispatches the right deallocator).
+
+        Double frees and foreign buffers surface as
+        ``hipErrorInvalidValue`` instead of corrupting the pool.
+        """
+        try:
+            self.apu.memory.free(_allocation(buffer))
+        except ValueError as failure:
+            raise self._error(hipErrorInvalidValue, str(failure)) from failure
 
     def hipMemGetInfo(self, device: Optional[int] = None) -> Tuple[int, int]:
         """(free, total) as HIP reports it — hipMalloc visibility only.
@@ -178,21 +358,24 @@ class HipRuntime:
         nbytes = max(nbytes, 1)
         mem = self.apu.memory
         label = name or allocator
-        frame_range = self._frame_range()
+        # The HIP-named allocators go through the hardened entry points so
+        # typed arrays get the same recovery ladder as raw allocations.
         if allocator == "malloc":
             alloc = mem.malloc(nbytes, name=label)
         elif allocator == "hipMalloc":
-            alloc = mem.hip_malloc(nbytes, name=label, frame_range=frame_range)
+            alloc = self.hipMalloc(nbytes, name=label)
         elif allocator == "hipHostMalloc":
-            alloc = mem.hip_host_malloc(nbytes, name=label, frame_range=frame_range)
+            alloc = self.hipHostMalloc(nbytes, name=label)
         elif allocator == "hipMallocManaged":
-            alloc = mem.hip_malloc_managed(nbytes, name=label, frame_range=frame_range)
+            alloc = self.hipMallocManaged(nbytes, name=label)
         elif allocator == "malloc+register":
             alloc = mem.host_register(mem.malloc(nbytes, name=label))
         elif allocator == "managed_static":
             alloc = mem.managed_static(nbytes, name=label)
         else:
-            raise HipError(f"hipErrorInvalidValue: unknown allocator {allocator!r}")
+            raise self._error(
+                hipErrorInvalidValue, f"unknown allocator {allocator!r}"
+            )
         return DeviceArray(alloc, shape, dtype)
 
     # ------------------------------------------------------------------
@@ -224,13 +407,11 @@ class HipRuntime:
             dst_offset + nbytes > dst_alloc.size_bytes
             or src_offset + nbytes > src_alloc.size_bytes
         ):
-            raise HipError("hipErrorInvalidValue: copy exceeds buffer size")
+            raise self._error(hipErrorInvalidValue, "copy exceeds buffer size")
         # Synchronous semantics: drain the default stream first.
         self.apu.streams.default.synchronize()
         self._resolve_copy_faults(dst_alloc, src_alloc, nbytes, dst_offset, src_offset)
-        duration = memcpy_time_ns(
-            self.apu.config, dst_alloc, src_alloc, nbytes, self.sdma_enabled
-        )
+        duration = self._copy_duration(dst_alloc, src_alloc, nbytes)
         self._emit_memcpy(
             dst_alloc, src_alloc, nbytes, dst_offset, src_offset,
             is_async=False, stream=None,
@@ -252,9 +433,7 @@ class HipRuntime:
         if nbytes is None:
             nbytes = min(dst_alloc.size_bytes, src_alloc.size_bytes)
         self._resolve_copy_faults(dst_alloc, src_alloc, nbytes, dst_offset, src_offset)
-        duration = memcpy_time_ns(
-            self.apu.config, dst_alloc, src_alloc, nbytes, self.sdma_enabled
-        )
+        duration = self._copy_duration(dst_alloc, src_alloc, nbytes)
         resolved = self.apu.streams.resolve(stream)
         resolved.enqueue(duration)
         self._emit_memcpy(
@@ -303,8 +482,37 @@ class HipRuntime:
         self.apu.touch(src, "cpu", offset_bytes=src_offset, size_bytes=nbytes)
         self.apu.touch(dst, "cpu", offset_bytes=dst_offset, size_bytes=nbytes)
 
-    @staticmethod
+    def _copy_duration(
+        self, dst: Allocation, src: Allocation, nbytes: int
+    ) -> float:
+        """Simulated copy duration, with injected SDMA faults applied.
+
+        A retryable SDMA engine failure re-issues the copy on the blit
+        path (the ``HSA_ENABLE_SDMA=0`` shader-kernel fallback) and
+        records the degradation; an engine abort surfaces as
+        ``hipErrorUnknown``.
+        """
+        duration = memcpy_time_ns(
+            self.apu.config, dst, src, nbytes, self.sdma_enabled
+        )
+        path = copy_path(dst, src, self.sdma_enabled)
+        plan = self.apu.physical.inject
+        try:
+            return apply_transfer_faults(plan, nbytes, path, duration)
+        except SdmaTransferError as failure:
+            if not failure.retryable:
+                raise self._error(hipErrorUnknown, str(failure)) from failure
+            fallback = memcpy_time_ns(
+                self.apu.config, dst, src, nbytes, sdma_enabled=False
+            )
+            self._record_degradation(
+                "memcpy.blit-fallback", nbytes=nbytes, cause=str(failure)
+            )
+            # The failed SDMA attempt consumed engine time before erroring.
+            return duration + fallback
+
     def _move_payload(
+        self,
         dst: BufferLike,
         src: BufferLike,
         nbytes: int,
@@ -319,7 +527,7 @@ class HipRuntime:
             return
         item = dst.dtype.itemsize
         if dst_offset % item or src_offset % item or nbytes % item:
-            raise HipError("hipErrorInvalidValue: unaligned partial copy")
+            raise self._error(hipErrorInvalidValue, "unaligned partial copy")
         count = nbytes // item
         dst.np.reshape(-1)[dst_offset // item : dst_offset // item + count] = (
             src.np.reshape(-1)[src_offset // item : src_offset // item + count]
@@ -332,8 +540,17 @@ class HipRuntime:
     def launchKernel(
         self, spec: KernelSpec, stream: Optional[Stream] = None
     ) -> KernelResult:
-        """Launch a declared kernel on the GPU (asynchronous)."""
-        return self._engine.run_gpu(spec, stream)
+        """Launch a declared kernel on the GPU (asynchronous).
+
+        An injected uncorrectable HBM frame error during the kernel's
+        accesses surfaces as ``hipErrorECCNotCorrectable``.
+        """
+        try:
+            return self._engine.run_gpu(spec, stream)
+        except UncorrectableECCError as failure:
+            raise self._error(
+                hipErrorECCNotCorrectable, str(failure)
+            ) from failure
 
     def runCpuKernel(self, spec: KernelSpec, threads: int = 1) -> KernelResult:
         """Run a declared kernel on CPU threads (synchronous)."""
@@ -393,18 +610,20 @@ def make_runtime(
     seed: int = 0x1300A,
     partition: Optional[PartitionConfig] = None,
     trace: bool = False,
+    inject=None,
 ) -> HipRuntime:
     """Build an APU and its HIP runtime in one call.
 
     With ``trace=True`` the APU records an event log for the hipsan
-    sanitizer (:func:`repro.analyze.analyze_runtime`).
+    sanitizer (:func:`repro.analyze.analyze_runtime`).  *inject* attaches
+    an :class:`~repro.inject.InjectionPlan` to the APU's fault sites.
     """
     from .apu import make_apu
 
     return HipRuntime(
         make_apu(
             memory_gib, xnack=xnack, seed=seed, partition=partition,
-            trace=trace,
+            trace=trace, inject=inject,
         ),
         sdma_enabled,
     )

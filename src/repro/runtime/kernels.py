@@ -150,6 +150,9 @@ class KernelEngine:
             fault_ns += report.service_time_ns
             misses += self._gpu_tlb_misses(access)
             memory_ns += self._gpu_memory_time(access)
+            # RAS: injected HBM frame errors cost scrub latency here; an
+            # uncorrectable error aborts the launch (hipErrorECCNotCorrectable).
+            memory_ns += apu.hbm_map.ecc_check(access.resolved_size)
 
         apu.gpu.counters.kernels_launched += 1
         apu.gpu.counters.tlb_misses += misses

@@ -23,6 +23,57 @@ from ..hw.config import MI300AConfig
 #: Allocator kinds treated as "device memory" by the copy path.
 _DEVICE_KINDS = (AllocatorKind.HIP_MALLOC, AllocatorKind.STATIC_DEVICE)
 
+#: Slowdown of an injected SDMA engine stall when the injector does not
+#: override it (a contended/misbehaving engine, not a dead one).
+STALL_DEFAULT_FACTOR = 8.0
+
+
+class SdmaTransferError(RuntimeError):
+    """An SDMA engine transfer failed.
+
+    *retryable* failures can be recovered by re-issuing the copy as a
+    blit kernel on the shader cores (the ``HSA_ENABLE_SDMA=0`` path);
+    non-retryable aborts surface to the application as a typed
+    ``hipError_t``.
+    """
+
+    def __init__(self, message: str, retryable: bool = True) -> None:
+        super().__init__(message)
+        self.retryable = retryable
+
+
+def apply_transfer_faults(
+    plan, nbytes: int, path: str, duration_ns: float
+) -> float:
+    """Apply any injected SDMA fault to a computed copy duration.
+
+    Consults *plan* (an :class:`~repro.inject.InjectionPlan`, or None)
+    at the ``sdma.transfer`` site — only for copies actually routed to
+    the SDMA engines.  ``stall`` multiplies the duration; ``failure``
+    raises a retryable :class:`SdmaTransferError` (the runtime falls
+    back to the blit path); ``abort`` raises a non-retryable one.
+    """
+    if plan is None or path != "sdma":
+        return duration_ns
+    fault = plan.fire("sdma.transfer", nbytes=nbytes, path=path)
+    if fault is None:
+        return duration_ns
+    if fault.kind == "stall":
+        factor = float(fault.params.get("factor", STALL_DEFAULT_FACTOR))
+        return duration_ns * max(1.0, factor)
+    if fault.kind == "failure":
+        raise SdmaTransferError(
+            f"SDMA engine error during a {nbytes}-byte transfer",
+            retryable=True,
+        )
+    if fault.kind == "abort":
+        raise SdmaTransferError(
+            f"SDMA engine hang during a {nbytes}-byte transfer "
+            "(ring timeout, engine reset)",
+            retryable=False,
+        )
+    raise ValueError(f"sdma.transfer does not understand kind {fault.kind!r}")
+
 
 def copy_path(
     dst: Allocation, src: Allocation, sdma_enabled: bool = True

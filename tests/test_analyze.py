@@ -247,11 +247,14 @@ class TestSanitizerScenarios:
         assert analyze_runtime(hip) == []
 
     def test_double_free_detected(self):
+        from repro.runtime.hip import HipError, hipErrorInvalidValue
+
         hip = make_runtime(memory_gib=2, trace=True)
         alloc = hip.hipMalloc(1 << 20)
         hip.hipFree(alloc)
-        with pytest.raises(ValueError):
+        with pytest.raises(HipError) as failure:
             hip.hipFree(alloc)
+        assert failure.value.code == hipErrorInvalidValue
         assert _rules(analyze_runtime(hip)) == {"hipsan.double-free"}
 
     def test_xnack_fatal_access_reported(self):

@@ -2,6 +2,7 @@
 artifacts (repro.exp.engine)."""
 
 import json
+import os
 import time
 from pathlib import Path
 
@@ -272,3 +273,141 @@ class TestArtifacts:
     def test_verify_bench_unreadable_file(self, tmp_path):
         problems = verify_bench(tmp_path / "missing.json", expected=[])
         assert any("unreadable" in p for p in problems)
+
+
+# ----------------------------------------------------------------------
+# Hardening: timeouts, interrupts, worker crashes, cache integrity
+# ----------------------------------------------------------------------
+
+
+def interrupting_runner(value):
+    raise KeyboardInterrupt
+
+
+def crash_once_runner(value, flag_dir):
+    """Kills its worker process the first time each value runs."""
+    flag = Path(flag_dir) / f"crashed_{value}"
+    if value == 2 and not flag.exists():
+        flag.write_text("x")
+        os._exit(17)
+    return [[value, value * 10]]
+
+
+def always_crashing_runner(value):
+    if value % 2 == 0:
+        os._exit(17)
+    return [[value, value * 10]]
+
+
+class TestPointTimeout:
+    def test_overrunning_point_is_recorded_not_hung(self):
+        spec = make_spec(
+            "sleepy", sleeping_runner, {"value": [1]}, {"delay": 5.0}
+        )
+        with temporarily_registered(spec):
+            engine = Engine(workers=1, cache=None, point_timeout_s=0.2)
+            started = time.perf_counter()
+            result = engine.run("sleepy")
+        assert time.perf_counter() - started < 4.0
+        assert not result.ok
+        assert "PointTimeoutError" in result.failures[0].error
+
+    def test_fast_point_is_untouched_by_the_budget(self):
+        with temporarily_registered(SQUARES):
+            engine = Engine(workers=1, cache=None, point_timeout_s=30.0)
+            result = engine.run("squares")
+        assert result.ok
+
+    def test_cli_timeout_flag_reaches_the_engine(self, capsys):
+        spec = make_spec(
+            "sleepy_cli", sleeping_runner, {"value": [1]}, {"delay": 5.0}
+        )
+        with temporarily_registered(spec):
+            code = main(["run", "sleepy_cli", "--no-cache",
+                         "--timeout", "0.2"])
+        assert code == 1
+        assert "PointTimeoutError" in capsys.readouterr().err
+
+
+class TestInterruptsAndParams:
+    def test_keyboard_interrupt_propagates(self):
+        spec = make_spec("interrupting", interrupting_runner, {"value": [1]})
+        with temporarily_registered(spec):
+            with pytest.raises(KeyboardInterrupt):
+                execute_point("interrupting", {"value": 1})
+
+    def test_error_payload_carries_the_failing_params(self):
+        with temporarily_registered(FLAKY):
+            payload, _ = execute_point("flaky", {"value": 2})
+        assert "boom on 2" in payload["error"]
+        assert payload["params"] == {"value": 2}
+
+    def test_failure_artifact_records_params(self):
+        with temporarily_registered(FLAKY):
+            result = Engine(workers=1, cache=None).run("flaky")
+        failures = result.to_payload()["failures"]
+        assert failures[0]["params"] == {"value": 2}
+
+
+class TestWorkerCrashes:
+    def test_crashed_points_are_requeued_and_recover(self, tmp_path):
+        spec = make_spec(
+            "crash_once", crash_once_runner, {"value": [1, 2, 3]},
+            {"flag_dir": str(tmp_path)},
+        )
+        with temporarily_registered(spec):
+            engine = Engine(workers=2, cache=None, max_point_retries=3)
+            result = engine.run("crash_once")
+        assert result.ok
+        assert sorted(row[0] for row in result.rows) == [1, 2, 3]
+
+    def test_persistent_crasher_is_contained(self):
+        spec = make_spec(
+            "crash_always", always_crashing_runner, {"value": [2, 4]}
+        )
+        with temporarily_registered(spec):
+            engine = Engine(workers=2, cache=None, max_point_retries=1)
+            result = engine.run("crash_always")
+        assert len(result.failures) == 2
+        for point in result.failures:
+            assert "worker process crashed" in point.error
+
+
+class TestCacheIntegrity:
+    KEY = "ab" + "0" * 62
+
+    def test_corrupt_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(self.KEY, {"rows": [[1, 2]], "sim_time_ns": 0.0})
+        path.write_text(path.read_text().replace('"rows"', '"cows"'))
+        assert cache.get(self.KEY) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert (tmp_path / "quarantine" / path.name).exists()
+        assert cache.get(self.KEY) is None  # stays a miss afterwards
+
+    def test_unparseable_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.put(self.KEY, {"rows": []})
+        path.write_text("{ not json")
+        assert cache.get(self.KEY) is None
+        assert cache.quarantined == 1
+        assert (tmp_path / "quarantine" / path.name).exists()
+
+    def test_intact_entry_round_trips_through_the_checksum(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {"rows": [[1, 2]], "sim_time_ns": 1.5}
+        path = cache.put(self.KEY, payload)
+        doc = json.loads(path.read_text())
+        assert set(doc) == {"sha256", "payload"}
+        assert cache.get(self.KEY) == payload
+        assert cache.quarantined == 0
+
+    def test_pre_checksum_entries_are_still_served(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        legacy = {"rows": [[3, 4]], "sim_time_ns": 0.0}
+        path = cache._path(self.KEY)
+        path.parent.mkdir(parents=True)
+        path.write_text(json.dumps(legacy, sort_keys=True))
+        assert cache.get(self.KEY) == legacy
+        assert cache.quarantined == 0
